@@ -1,0 +1,43 @@
+// Shared plumbing for the experiment harnesses (bench_theorem1 ... ).
+// Each binary prints the tables promised by the experiment index in
+// DESIGN.md. Setting DSND_BENCH_SCALE=N (integer, default 1) multiplies
+// problem sizes/seed counts for longer, higher-confidence runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "decomposition/validation.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+namespace dsnd::bench {
+
+inline int scale() {
+  if (const char* env = std::getenv("DSND_BENCH_SCALE")) {
+    const int value = std::atoi(env);
+    if (value >= 1) return value;
+  }
+  return 1;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// Renders kInfiniteDiameter as "inf" for table cells.
+inline std::string diameter_cell(std::int32_t diameter) {
+  return diameter == kInfiniteDiameter ? "inf" : std::to_string(diameter);
+}
+
+/// The families every experiment sweeps unless stated otherwise.
+inline const std::vector<std::string>& default_families() {
+  static const std::vector<std::string> kNames = {"gnp-sparse", "grid",
+                                                  "random-tree"};
+  return kNames;
+}
+
+}  // namespace dsnd::bench

@@ -1,0 +1,76 @@
+// E12 (extension) — sparse neighborhood covers, the [AP92, ABCP92]
+// application direction cited in the paper. Builds (W, chi)-covers by
+// decomposing G^{2W+1} and expanding clusters by W; verifies the three
+// cover properties and reports overlap (vertex load) and diameter
+// against their bounds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/covers.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace dsnd;
+  bench::print_header(
+      "E12 / sparse neighborhood covers from the decomposition",
+      "claims: every ball B(v, W) inside one cluster; same-colored "
+      "clusters disjoint (overlap <= chi); strong diameter <= "
+      "(2W+1)(2k-2) + 2W");
+
+  const int seeds = 3 * bench::scale();
+  const std::int32_t k = 3;
+  Table table({"family", "n", "W", "clusters", "colors", "max_overlap",
+               "D_max", "D_bound", "balls_covered", "check"});
+  for (const std::string& family : bench::default_families()) {
+    for (const VertexId n : {128, 256}) {
+      for (const std::int32_t w : {1, 2, 3}) {
+        Summary clusters, colors, overlap, diameter;
+        bool covered_all = true;
+        bool ok = true;
+        int checked = 0;
+        for (int s = 0; s < seeds; ++s) {
+          const Graph g = family_by_name(family).make(
+              n, static_cast<std::uint64_t>(s) + 1);
+          CoverOptions options;
+          options.radius = w;
+          options.k = k;
+          options.seed = static_cast<std::uint64_t>(s) * 5754853343 + 7;
+          const NeighborhoodCover cover =
+              build_neighborhood_cover(g, options);
+          const CoverReport report = validate_cover(g, cover);
+          if (!report.all_balls_covered) covered_all = false;
+          if (cover.base.carve.radius_overflow) continue;
+          ++checked;
+          clusters.add(static_cast<double>(cover.clusters.size()));
+          colors.add(cover.num_colors);
+          overlap.add(report.max_overlap);
+          if (report.max_strong_diameter != kInfiniteDiameter) {
+            diameter.add(report.max_strong_diameter);
+          }
+          const std::int32_t bound = (2 * w + 1) * (2 * k - 2) + 2 * w;
+          if (!report.color_classes_disjoint ||
+              !report.all_clusters_connected ||
+              report.max_strong_diameter == kInfiniteDiameter ||
+              report.max_strong_diameter > bound) {
+            ok = false;
+          }
+        }
+        table.row()
+            .cell(family)
+            .cell(static_cast<std::int64_t>(n))
+            .cell(w)
+            .cell(checked > 0 ? format_double(clusters.mean(), 1) : "-")
+            .cell(checked > 0 ? format_double(colors.mean(), 1) : "-")
+            .cell(checked > 0 ? format_double(overlap.max(), 0) : "-")
+            .cell(checked > 0 ? format_double(diameter.max(), 0) : "-")
+            .cell((2 * w + 1) * (2 * k - 2) + 2 * w)
+            .cell(covered_all ? "100%" : "VIOLATED")
+            .cell(ok ? "ok" : "VIOLATED");
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nmax_overlap stays <= colors (each vertex lies in at most "
+               "chi cover clusters).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E4 — The headline result: with k = ceil(ln n), a strong
+// (O(log n), O(log n)) network decomposition computed in O(log^2 n)
+// rounds. Sweeping n over powers of two and fitting the measured
+// quantities against ln n (diameter, colors) and ln^2 n (rounds) checks
+// the asymptotic *shape*: near-linear fits (r^2 close to 1) with modest
+// constants.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace dsnd;
+  bench::print_header(
+      "E4 / headline scaling (k = ceil(ln n))",
+      "claim: strong (O(log n), O(log n)) decomposition in O(log^2 n) "
+      "rounds");
+
+  const int seeds = 4 * bench::scale();
+  Table table({"family", "n", "ln n", "D_max", "colors", "rounds",
+               "rounds/ln^2(n)"});
+  for (const std::string& family : {std::string("gnp-sparse"),
+                                    std::string("grid")}) {
+    std::vector<double> log_n, diameter_series, color_series, round_series;
+    for (const VertexId n : {256, 512, 1024, 2048, 4096, 8192}) {
+      Summary diameters, colors, rounds;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g = family_by_name(family).make(
+            n, static_cast<std::uint64_t>(s) + 1);
+        ElkinNeimanOptions options;  // k = 0 -> ceil(ln n)
+        options.seed = static_cast<std::uint64_t>(s) * 6700417 + 11;
+        const DecompositionRun run = elkin_neiman_decomposition(g, options);
+        colors.add(run.carve.phases_used);
+        rounds.add(static_cast<double>(run.carve.rounds));
+        if (!run.carve.radius_overflow) {
+          const DecompositionReport report = validate_decomposition(
+              g, run.clustering(), /*compute_weak=*/false);
+          if (report.max_strong_diameter != kInfiniteDiameter) {
+            diameters.add(report.max_strong_diameter);
+          }
+        }
+      }
+      const double ln = std::log(static_cast<double>(n));
+      log_n.push_back(ln);
+      diameter_series.push_back(diameters.max());
+      color_series.push_back(colors.mean());
+      round_series.push_back(rounds.mean());
+      table.row()
+          .cell(family)
+          .cell(static_cast<std::int64_t>(n))
+          .cell(ln, 2)
+          .cell(diameters.max(), 0)
+          .cell(colors.mean(), 1)
+          .cell(rounds.mean(), 0)
+          .cell(rounds.mean() / (ln * ln), 2);
+    }
+    // Shape fits: D vs ln n, colors vs ln n, rounds vs ln^2 n.
+    std::vector<double> log_n_sq;
+    for (const double x : log_n) log_n_sq.push_back(x * x);
+    const LinearFit d_fit = fit_linear(log_n, diameter_series);
+    const LinearFit c_fit = fit_linear(log_n, color_series);
+    const LinearFit r_fit = fit_linear(log_n_sq, round_series);
+    std::cout << family << ": D ~ " << format_double(d_fit.slope, 2)
+              << "*ln(n) (r2=" << format_double(d_fit.r_squared, 3)
+              << "), colors ~ " << format_double(c_fit.slope, 2)
+              << "*ln(n) (r2=" << format_double(c_fit.r_squared, 3)
+              << "), rounds ~ " << format_double(r_fit.slope, 2)
+              << "*ln^2(n) (r2=" << format_double(r_fit.r_squared, 3)
+              << ")\n";
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nThe rounds/ln^2(n) column should hover around a constant "
+               "— the O(log^2 n) claim.\n";
+  return 0;
+}

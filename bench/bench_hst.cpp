@@ -1,0 +1,53 @@
+// E13 (extension) — probabilistic tree embeddings (HSTs) built from the
+// library's padded partitions, the [Bar96] lineage the paper discusses.
+// Tree distances dominate graph distances by construction; the table
+// tracks the empirical expected stretch against the Bartal-style
+// O(log^2 n) shape.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/hst.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace dsnd;
+  bench::print_header(
+      "E13 / HST tree embeddings from padded partitions",
+      "claim: d_T >= d_G always; expected stretch O(log^2 n)");
+
+  const int seeds = 3 * bench::scale();
+  Table table({"family", "n", "mean_stretch", "max_stretch",
+               "stretch/ln^2(n)", "dominating"});
+  for (const std::string& family : bench::default_families()) {
+    for (const VertexId n : {128, 256, 512, 1024}) {
+      Summary mean_stretch, max_stretch;
+      bool dominating = true;
+      for (int s = 0; s < seeds; ++s) {
+        const Graph g = family_by_name(family).make(
+            n, static_cast<std::uint64_t>(s) + 1);
+        const HstTree tree = build_hst(
+            g, {.c = 4.0,
+                .seed = static_cast<std::uint64_t>(s) * 275604541 + 9});
+        const StretchReport report = measure_hst_stretch(
+            g, tree, 300, static_cast<std::uint64_t>(s) + 100);
+        mean_stretch.add(report.mean);
+        max_stretch.add(report.max);
+        if (!report.dominating) dominating = false;
+      }
+      const double ln = std::log(static_cast<double>(n));
+      table.row()
+          .cell(family)
+          .cell(static_cast<std::int64_t>(n))
+          .cell(mean_stretch.mean(), 2)
+          .cell(max_stretch.max(), 1)
+          .cell(mean_stretch.mean() / (ln * ln), 3)
+          .cell(dominating ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nstretch/ln^2(n) should stay bounded (and typically "
+               "decrease) as n grows — the O(log^2 n) expected-stretch "
+               "shape.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E10 — google-benchmark microbenches for the library's kernels: graph
+// generation, BFS, one carving phase, full decompositions (centralized
+// and distributed), the MPX partition, Luby's MIS, and validation.
+#include <benchmark/benchmark.h>
+
+#include "apps/luby.hpp"
+#include "apps/mis.hpp"
+#include "decomposition/carving.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "decomposition/elkin_neiman_distributed.hpp"
+#include "decomposition/linial_saks.hpp"
+#include "decomposition/mpx.hpp"
+#include "decomposition/validation.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace {
+
+using namespace dsnd;
+
+Graph bench_graph(std::int64_t n) {
+  return make_gnp(static_cast<VertexId>(n),
+                  6.0 / static_cast<double>(n - 1), 42);
+}
+
+void BM_GnpGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_graph(state.range(0)));
+  }
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_GridGeneration(benchmark::State& state) {
+  const auto side = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_grid2d(side, side));
+  }
+}
+BENCHMARK(BM_GridGeneration)->Arg(32)->Arg(128);
+
+void BM_Bfs(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, 0));
+  }
+}
+BENCHMARK(BM_Bfs)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_CarvePhase(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<char> alive(n, 1);
+  std::vector<double> radii(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    radii[v] = carve_radius_sample(7, 0, static_cast<VertexId>(v), 0.8);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_phase_broadcast(g, alive, radii, 8));
+  }
+}
+BENCHMARK(BM_CarvePhase)->Arg(1024)->Arg(8192);
+
+void BM_ElkinNeiman(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  ElkinNeimanOptions options;
+  options.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elkin_neiman_decomposition(g, options));
+  }
+}
+BENCHMARK(BM_ElkinNeiman)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ElkinNeimanDistributed(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  ElkinNeimanOptions options;
+  options.k = 4;
+  options.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elkin_neiman_distributed(g, options));
+  }
+}
+BENCHMARK(BM_ElkinNeimanDistributed)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LinialSaks(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  LinialSaksOptions options;
+  options.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linial_saks_decomposition(g, options));
+  }
+}
+BENCHMARK(BM_LinialSaks)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpxPartition(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx_partition(g, {.beta = 0.2, .seed = 7}));
+  }
+}
+BENCHMARK(BM_MpxPartition)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LubyMis(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(luby_mis(g, 7));
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_MisByDecomposition(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  ElkinNeimanOptions options;
+  options.seed = 7;
+  const DecompositionRun run = elkin_neiman_decomposition(g, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis_by_decomposition(g, run.clustering()));
+  }
+}
+BENCHMARK(BM_MisByDecomposition)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ValidateDecomposition(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  ElkinNeimanOptions options;
+  options.seed = 7;
+  const DecompositionRun run = elkin_neiman_decomposition(g, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_decomposition(
+        g, run.clustering(), /*compute_weak=*/false));
+  }
+}
+BENCHMARK(BM_ValidateDecomposition)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// E1 — Theorem 1: strong (2k-2, (cn)^{1/k} ln(cn)) network decomposition
+// in k (cn)^{1/k} ln(cn) rounds with probability >= 1 - 3/c.
+//
+// For each (family, n, k) cell the table reports, over many seeds:
+//   D_max      largest measured strong cluster diameter (no-overflow runs)
+//   D_bound    2k - 2
+//   colors     mean phases used until the graph was exhausted
+//   col_bound  ceil((cn)^{1/k} ln(cn))  (the theorem's lambda)
+//   rounds     mean simulated rounds (phases * (k+1))
+//   rnd_bound  k * lambda
+//   success    fraction of runs exhausted within lambda phases (>= 1-3/c)
+//   overflow   fraction of runs where some radius reached k+1 (<= 2/c)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace dsnd;
+
+void run_cell(Table& table, const std::string& family, VertexId n,
+              std::int32_t k, double c, int seeds) {
+  Summary diameters, colors, rounds;
+  int successes = 0;
+  int overflows = 0;
+  int diameter_runs = 0;
+  bool bound_violated = false;
+  for (int s = 0; s < seeds; ++s) {
+    const Graph g = family_by_name(family).make(
+        n, static_cast<std::uint64_t>(s) + 1);
+    ElkinNeimanOptions options;
+    options.k = k;
+    options.c = c;
+    options.seed = static_cast<std::uint64_t>(s) * 7919 + 17;
+    const DecompositionRun run = elkin_neiman_decomposition(g, options);
+    colors.add(run.carve.phases_used);
+    rounds.add(static_cast<double>(run.carve.rounds));
+    if (run.carve.exhausted_within_target) ++successes;
+    if (run.carve.radius_overflow) {
+      ++overflows;
+    } else {
+      const DecompositionReport report = validate_decomposition(
+          g, run.clustering(), /*compute_weak=*/false);
+      ++diameter_runs;
+      diameters.add(report.max_strong_diameter);
+      if (report.max_strong_diameter == kInfiniteDiameter ||
+          report.max_strong_diameter > 2 * k - 2 ||
+          !report.proper_phase_coloring) {
+        bound_violated = true;
+      }
+    }
+  }
+  const std::int32_t lambda = elkin_neiman_target_phases(n, k, c);
+  table.row()
+      .cell(family)
+      .cell(static_cast<std::int64_t>(n))
+      .cell(k)
+      .cell(diameter_runs > 0 ? format_double(diameters.max(), 0) : "-")
+      .cell(2 * k - 2)
+      .cell(colors.mean(), 1)
+      .cell(lambda)
+      .cell(rounds.mean(), 0)
+      .cell(static_cast<std::int64_t>(k) * lambda)
+      .cell(static_cast<double>(successes) / seeds, 2)
+      .cell(static_cast<double>(overflows) / seeds, 2)
+      .cell(bound_violated ? "VIOLATED" : "ok");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsnd;
+  const double c = 4.0;
+  bench::print_header(
+      "E1 / Theorem 1 (Elkin–Neiman strong decomposition)",
+      "claim: strong diameter <= 2k-2, colors <= (cn)^{1/k} ln(cn), "
+      "rounds <= k(cn)^{1/k} ln(cn), success prob >= 1 - 3/c  (c = 4)");
+
+  Table table({"family", "n", "k", "D_max", "D_bound", "colors",
+               "col_bound", "rounds", "rnd_bound", "success", "overflow",
+               "check"});
+  const int base_seeds = 8 * bench::scale();
+  for (const std::string& family : bench::default_families()) {
+    for (const VertexId n : {256, 1024, 4096}) {
+      const int seeds = n >= 4096 ? std::max(base_seeds / 4, 2) : base_seeds;
+      for (const std::int32_t k : {2, 3, 5}) {
+        run_cell(table, family, n, k, c, seeds);
+      }
+      run_cell(table, family, n, resolve_k(n, 0), c, seeds);  // k = ln n
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n'check' is ok when every no-overflow run satisfied the "
+               "strong-diameter bound and proper coloring.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "apps/checkers.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set) {
+  DSND_REQUIRE(in_set.size() == static_cast<std::size_t>(g.num_vertices()),
+               "selection size mismatch");
+  bool independent = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (in_set[static_cast<std::size_t>(u)] &&
+        in_set[static_cast<std::size_t>(v)]) {
+      independent = false;
+    }
+  });
+  return independent;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<char>& in_set) {
+  if (!is_independent_set(g, in_set)) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_set[static_cast<std::size_t>(v)]) continue;
+    bool blocked = false;
+    for (VertexId w : g.neighbors(v)) {
+      if (in_set[static_cast<std::size_t>(w)]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;
+  }
+  return true;
+}
+
+bool is_proper_vertex_coloring(const Graph& g,
+                               const std::vector<std::int32_t>& colors) {
+  DSND_REQUIRE(colors.size() == static_cast<std::size_t>(g.num_vertices()),
+               "color vector size mismatch");
+  if (std::any_of(colors.begin(), colors.end(),
+                  [](std::int32_t c) { return c < 0; })) {
+    return false;
+  }
+  bool proper = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (colors[static_cast<std::size_t>(u)] ==
+        colors[static_cast<std::size_t>(v)]) {
+      proper = false;
+    }
+  });
+  return proper;
+}
+
+std::int32_t num_colors_used(const std::vector<std::int32_t>& colors) {
+  std::int32_t max_color = -1;
+  for (std::int32_t c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+bool is_matching(const Graph& g, const std::vector<VertexId>& mate) {
+  DSND_REQUIRE(mate.size() == static_cast<std::size_t>(g.num_vertices()),
+               "mate vector size mismatch");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId m = mate[static_cast<std::size_t>(v)];
+    if (m == -1) continue;
+    if (m < 0 || m >= g.num_vertices()) return false;
+    if (m == v) return false;
+    if (mate[static_cast<std::size_t>(m)] != v) return false;
+    if (!g.has_edge(v, m)) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<VertexId>& mate) {
+  if (!is_matching(g, mate)) return false;
+  bool maximal = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (mate[static_cast<std::size_t>(u)] == -1 &&
+        mate[static_cast<std::size_t>(v)] == -1) {
+      maximal = false;
+    }
+  });
+  return maximal;
+}
+
+}  // namespace dsnd

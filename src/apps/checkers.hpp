@@ -1,0 +1,32 @@
+// Validity checkers for the symmetry-breaking problems the paper's
+// introduction motivates: maximal independent set, proper vertex
+// coloring, and maximal matching. Used as oracles by tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// in_set[v] != 0 means v is selected.
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set);
+
+/// Independent and no vertex can be added.
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<char>& in_set);
+
+/// colors[v] >= 0 for all v and no edge is monochromatic.
+bool is_proper_vertex_coloring(const Graph& g,
+                               const std::vector<std::int32_t>& colors);
+
+std::int32_t num_colors_used(const std::vector<std::int32_t>& colors);
+
+/// mate[v] == partner vertex or -1; symmetric and consistent with edges.
+bool is_matching(const Graph& g, const std::vector<VertexId>& mate);
+
+/// Matching and no edge has both endpoints unmatched.
+bool is_maximal_matching(const Graph& g, const std::vector<VertexId>& mate);
+
+}  // namespace dsnd

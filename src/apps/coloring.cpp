@@ -1,0 +1,41 @@
+#include "apps/coloring.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+ColoringResult coloring_by_decomposition(const Graph& g,
+                                         const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  result.cost = pipeline_round_cost(g, clustering);
+
+  const auto members = clustering.members();
+  std::vector<char> used;
+  for (const auto& cluster_ids : clusters_by_color(clustering)) {
+    for (const ClusterId c : cluster_ids) {
+      for (const VertexId v : members[static_cast<std::size_t>(c)]) {
+        // Smallest color unused by any already-colored neighbor (frozen
+        // external clusters or earlier vertices of this cluster).
+        used.assign(static_cast<std::size_t>(g.degree(v)) + 2, 0);
+        for (const VertexId w : g.neighbors(v)) {
+          const std::int32_t cw = result.colors[static_cast<std::size_t>(w)];
+          if (cw >= 0 && cw < static_cast<std::int32_t>(used.size())) {
+            used[static_cast<std::size_t>(cw)] = 1;
+          }
+        }
+        std::int32_t color = 0;
+        while (used[static_cast<std::size_t>(color)]) ++color;
+        result.colors[static_cast<std::size_t>(v)] = color;
+        result.colors_used = std::max(result.colors_used, color + 1);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsnd

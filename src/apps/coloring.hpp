@@ -1,0 +1,25 @@
+// (Delta+1) vertex coloring via a network decomposition — the second
+// symmetry-breaking application from the paper's introduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/decomposition_solver.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct ColoringResult {
+  std::vector<std::int32_t> colors;  // per vertex, in [0, Delta]
+  std::int32_t colors_used = 0;
+  PipelineCost cost;
+};
+
+/// First-fit within each cluster, respecting frozen neighbor colors;
+/// never exceeds max_degree(g) + 1 colors.
+ColoringResult coloring_by_decomposition(const Graph& g,
+                                         const Clustering& clustering);
+
+}  // namespace dsnd

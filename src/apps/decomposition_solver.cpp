@@ -1,0 +1,46 @@
+#include "apps/decomposition_solver.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+std::vector<std::vector<ClusterId>> clusters_by_color(
+    const Clustering& clustering) {
+  std::vector<std::vector<ClusterId>> classes(
+      static_cast<std::size_t>(clustering.num_colors()));
+  for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
+    classes[static_cast<std::size_t>(clustering.color_of(c))].push_back(c);
+  }
+  return classes;
+}
+
+PipelineCost pipeline_round_cost(const Graph& g,
+                                 const Clustering& clustering) {
+  DSND_REQUIRE(clustering.is_complete(),
+               "pipeline requires a complete partition");
+  const auto members = clustering.members();
+  PipelineCost cost;
+  for (const auto& cluster_ids : clusters_by_color(clustering)) {
+    if (cluster_ids.empty()) continue;
+    ++cost.color_classes;
+    std::int32_t class_diameter = 0;
+    for (const ClusterId c : cluster_ids) {
+      const InducedSubgraph sub =
+          induced_subgraph(g, members[static_cast<std::size_t>(c)]);
+      DSND_REQUIRE(is_connected(sub.graph),
+                   "pipeline requires connected (strong-diameter) clusters");
+      const std::int32_t diameter = exact_diameter(sub.graph);
+      class_diameter = std::max(class_diameter, diameter);
+    }
+    cost.max_cluster_diameter =
+        std::max(cost.max_cluster_diameter, class_diameter);
+    cost.rounds += 2 * static_cast<std::int64_t>(class_diameter) + 2;
+  }
+  return cost;
+}
+
+}  // namespace dsnd

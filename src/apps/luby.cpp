@@ -1,0 +1,130 @@
+#include "apps/luby.hpp"
+
+#include <vector>
+
+#include "simulator/engine.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+namespace {
+
+constexpr std::uint64_t kTagPriority = 1;
+constexpr std::uint64_t kTagIn = 2;
+
+enum class NodeState : std::uint8_t { kUndecided, kIn, kOut };
+
+class LubyProtocol final : public Protocol {
+ public:
+  explicit LubyProtocol(std::uint64_t seed) : seed_(seed) {}
+
+  void begin(const Graph& g) override {
+    graph_ = &g;
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    state_.assign(n, NodeState::kUndecided);
+    priority_.assign(n, 0);
+    undecided_ = g.num_vertices();
+    iterations_ = 0;
+  }
+
+  void on_round(VertexId v, std::size_t round,
+                std::span<const Message> inbox, Outbox& out) override {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto step = static_cast<std::int32_t>(round % 3);
+    const auto iteration = static_cast<std::int32_t>(round / 3);
+
+    if (step == 0) {
+      if (state_[vi] != NodeState::kUndecided) return;
+      if (phase_counter_ <= iteration) {
+        phase_counter_ = iteration + 1;
+        iterations_ = phase_counter_;
+      }
+      // Fresh random priority per iteration; ties broken by vertex id in
+      // the comparison, so reuse across vertices is harmless.
+      Xoshiro256ss rng(stream_seed(
+          seed_, static_cast<std::uint64_t>(iteration) + 1,
+          static_cast<std::uint64_t>(v) + 1));
+      priority_[vi] = rng();
+      out.send_to_all_neighbors(
+          std::vector<std::uint64_t>{kTagPriority, priority_[vi],
+                                     static_cast<std::uint64_t>(v)});
+      return;
+    }
+
+    if (step == 1) {
+      if (state_[vi] != NodeState::kUndecided) return;
+      // Local maximum among undecided neighbors joins the MIS.
+      bool wins = true;
+      for (const Message& msg : inbox) {
+        if (msg.words.empty() || msg.words[0] != kTagPriority) continue;
+        const std::uint64_t their_priority = msg.words[1];
+        const auto their_id = static_cast<VertexId>(msg.words[2]);
+        if (their_priority > priority_[vi] ||
+            (their_priority == priority_[vi] && their_id > v)) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) {
+        state_[vi] = NodeState::kIn;
+        --undecided_;
+        out.send_to_all_neighbors(std::vector<std::uint64_t>{kTagIn});
+      }
+      return;
+    }
+
+    // step == 2: neighbors of fresh IN vertices drop out. Since only
+    // undecided vertices broadcast priorities, no explicit OUT
+    // notification is needed for the next iteration's comparison.
+    (void)out;
+    if (state_[vi] != NodeState::kUndecided) return;
+    for (const Message& msg : inbox) {
+      if (!msg.words.empty() && msg.words[0] == kTagIn) {
+        state_[vi] = NodeState::kOut;
+        --undecided_;
+        return;
+      }
+    }
+  }
+
+  bool finished() const override { return undecided_ == 0; }
+
+  std::vector<char> in_mis() const {
+    std::vector<char> result(state_.size(), 0);
+    for (std::size_t v = 0; v < state_.size(); ++v) {
+      result[v] = state_[v] == NodeState::kIn ? 1 : 0;
+    }
+    return result;
+  }
+
+  std::int32_t iterations() const { return iterations_; }
+
+ private:
+  const std::uint64_t seed_;
+  const Graph* graph_ = nullptr;
+  std::vector<NodeState> state_;
+  std::vector<std::uint64_t> priority_;
+  VertexId undecided_ = 0;
+  std::int32_t iterations_ = 0;
+  std::int32_t phase_counter_ = 0;
+};
+
+}  // namespace
+
+LubyResult luby_mis(const Graph& g, std::uint64_t seed) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  LubyProtocol protocol(seed);
+  SyncEngine engine(g);
+  // Expected O(log n) iterations; the cap is far above that.
+  const std::size_t max_rounds =
+      3 * (64 + static_cast<std::size_t>(g.num_vertices()));
+  LubyResult result;
+  result.sim = engine.run(protocol, max_rounds);
+  DSND_CHECK(protocol.finished(), "Luby's algorithm failed to terminate");
+  result.in_mis = protocol.in_mis();
+  result.iterations = protocol.iterations();
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,24 @@
+// Luby's randomized MIS, implemented as a genuine protocol on the
+// synchronous simulator — the non-decomposition baseline for bench E7.
+// Each iteration costs three rounds: exchange random priorities, winners
+// (local maxima among undecided neighbors) announce IN, their neighbors
+// announce OUT. O(log n) iterations in expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
+
+namespace dsnd {
+
+struct LubyResult {
+  std::vector<char> in_mis;
+  SimMetrics sim;
+  std::int32_t iterations = 0;
+};
+
+LubyResult luby_mis(const Graph& g, std::uint64_t seed);
+
+}  // namespace dsnd

@@ -1,0 +1,53 @@
+#include "apps/matching.hpp"
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+MatchingResult matching_by_decomposition(const Graph& g,
+                                         const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  result.cost = pipeline_round_cost(g, clustering);
+
+  std::vector<char> processed(static_cast<std::size_t>(g.num_vertices()),
+                              0);
+  const auto members = clustering.members();
+  for (const auto& cluster_ids : clusters_by_color(clustering)) {
+    for (const ClusterId c : cluster_ids) {
+      const auto& cluster = members[static_cast<std::size_t>(c)];
+      for (const VertexId v : cluster) {
+        if (result.mate[static_cast<std::size_t>(v)] != -1) continue;
+        // Prefer an unmatched neighbor inside this cluster, then an
+        // unmatched neighbor in an already-processed cluster (boundary
+        // proposal); rows are sorted so choices are deterministic.
+        VertexId partner = -1;
+        for (const VertexId w : g.neighbors(v)) {
+          if (result.mate[static_cast<std::size_t>(w)] != -1) continue;
+          const bool internal =
+              clustering.cluster_of(w) == clustering.cluster_of(v);
+          if (internal) {
+            partner = w;
+            break;
+          }
+          if (partner == -1 && processed[static_cast<std::size_t>(w)]) {
+            partner = w;
+          }
+        }
+        if (partner != -1) {
+          result.mate[static_cast<std::size_t>(v)] = partner;
+          result.mate[static_cast<std::size_t>(partner)] = v;
+          ++result.matched_edges;
+        }
+      }
+      for (const VertexId v : cluster) {
+        processed[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,25 @@
+// Maximal matching via a network decomposition — the third application
+// from the paper's introduction. Boundary edges to already-processed
+// clusters are claimed with a propose/accept exchange (the external,
+// frozen endpoint arbitrates); the sequential simulation realizes one
+// valid arbitration order.
+#pragma once
+
+#include <vector>
+
+#include "apps/decomposition_solver.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct MatchingResult {
+  std::vector<VertexId> mate;  // partner vertex or -1
+  VertexId matched_edges = 0;
+  PipelineCost cost;
+};
+
+MatchingResult matching_by_decomposition(const Graph& g,
+                                         const Clustering& clustering);
+
+}  // namespace dsnd

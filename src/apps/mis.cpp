@@ -1,0 +1,55 @@
+#include "apps/mis.hpp"
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+MisResult mis_by_decomposition(const Graph& g,
+                               const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  MisResult result;
+  result.in_mis.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  result.cost = pipeline_round_cost(g, clustering);
+
+  std::vector<char> decided(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto members = clustering.members();
+  for (const auto& cluster_ids : clusters_by_color(clustering)) {
+    // Clusters within one color class are pairwise non-adjacent, so their
+    // local computations cannot observe each other; any processing order
+    // simulates a parallel execution.
+    for (const ClusterId c : cluster_ids) {
+      for (const VertexId v : members[static_cast<std::size_t>(c)]) {
+        // Greedy local rule: join unless a decided neighbor is in the MIS.
+        bool blocked = false;
+        for (const VertexId w : g.neighbors(v)) {
+          if (decided[static_cast<std::size_t>(w)] &&
+              result.in_mis[static_cast<std::size_t>(w)]) {
+            blocked = true;
+            break;
+          }
+        }
+        result.in_mis[static_cast<std::size_t>(v)] = blocked ? 0 : 1;
+        decided[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<char> greedy_mis(const Graph& g) {
+  std::vector<char> in_mis(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool blocked = false;
+    for (const VertexId w : g.neighbors(v)) {
+      if (w < v && in_mis[static_cast<std::size_t>(w)]) {
+        blocked = true;
+        break;
+      }
+    }
+    in_mis[static_cast<std::size_t>(v)] = blocked ? 0 : 1;
+  }
+  return in_mis;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,27 @@
+// Maximal independent set via a network decomposition (the pipeline of
+// decomposition_solver.hpp with a greedy local solver). With the paper's
+// strong (O(log n), O(log n)) decomposition this runs in O(log^2 n)
+// LOCAL rounds — compare luby.hpp for the classic randomized alternative.
+#pragma once
+
+#include <vector>
+
+#include "apps/decomposition_solver.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct MisResult {
+  std::vector<char> in_mis;  // per vertex
+  PipelineCost cost;
+};
+
+/// Requires a complete partition with connected clusters and a proper
+/// phase coloring (what the Elkin–Neiman algorithms produce).
+MisResult mis_by_decomposition(const Graph& g, const Clustering& clustering);
+
+/// Sequential greedy MIS (vertex-id order) — correctness oracle.
+std::vector<char> greedy_mis(const Graph& g);
+
+}  // namespace dsnd

@@ -1,0 +1,46 @@
+// The O(D * chi) MIS pipeline as a genuine LOCAL-model protocol on the
+// simulator — the "naive algorithm" of the paper's introduction made
+// concrete: clusters of each color class (processed in a fixed
+// per-class round budget derived from the known diameter bound 2k-2)
+// build a BFS tree from their center, convergecast their topology plus
+// the frozen decisions of adjacent vertices to the leader, solve MIS
+// locally, and broadcast the answers back down.
+//
+// Two things are worth measuring here (bench E7):
+//  - rounds: chi color classes x O(k) rounds each = O(D * chi), vs the
+//    CONGEST algorithms' accounting;
+//  - message width: convergecast messages carry whole subtree topologies
+//    — this pipeline is LOCAL, not CONGEST, and the max_message_words
+//    metric quantifies exactly how non-CONGEST it is.
+//
+// The result is bit-identical to mis_by_decomposition() on the same
+// clustering: the leader runs the same greedy (vertex-id order) and
+// same-class clusters are non-adjacent, so decisions commute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
+
+namespace dsnd {
+
+struct DistributedMisResult {
+  std::vector<char> in_mis;
+  SimMetrics sim;
+  /// Rounds budgeted per color class: 2 * (2k - 2) + 4.
+  std::int32_t rounds_per_class = 0;
+  std::int32_t classes = 0;
+};
+
+/// Runs the pipeline over a decomposition whose clusters have strong
+/// radius (distance center -> member inside the cluster) at most k - 1,
+/// which is what the Elkin–Neiman algorithms guarantee for parameter k.
+/// Clusters must be connected and contain their centers.
+DistributedMisResult mis_distributed_pipeline(const Graph& g,
+                                              const Clustering& clustering,
+                                              std::int32_t k);
+
+}  // namespace dsnd

@@ -1,0 +1,114 @@
+#include "apps/spanner.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "decomposition/validation.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+namespace {
+
+/// Adds the edges of a BFS tree of the induced subgraph on `members`,
+/// rooted at the member closest to `center` (the center itself whenever
+/// it is a member). Members must induce a connected subgraph.
+void add_bfs_tree(const Graph& g, const std::vector<VertexId>& members,
+                  VertexId center, std::set<Edge>& edges) {
+  const InducedSubgraph sub = induced_subgraph(g, members);
+  VertexId root = 0;
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+    if (sub.parent_of(v) == center) root = v;
+  }
+  std::vector<std::int32_t> dist(
+      static_cast<std::size_t>(sub.graph.num_vertices()), -1);
+  std::queue<VertexId> frontier;
+  dist[static_cast<std::size_t>(root)] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop();
+    for (VertexId w : sub.graph.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] != -1) continue;
+      dist[static_cast<std::size_t>(w)] =
+          dist[static_cast<std::size_t>(u)] + 1;
+      const VertexId pu = sub.parent_of(u);
+      const VertexId pw = sub.parent_of(w);
+      edges.insert({std::min(pu, pw), std::max(pu, pw)});
+      frontier.push(w);
+    }
+  }
+  DSND_CHECK(std::all_of(dist.begin(), dist.end(),
+                         [](std::int32_t d) { return d != -1; }),
+             "spanner tree construction requires connected clusters");
+}
+
+SpannerResult finish(const Graph& g, std::set<Edge> edges) {
+  SpannerResult result;
+  result.spanner = Graph::from_edges(
+      g.num_vertices(), std::vector<Edge>(edges.begin(), edges.end()));
+  result.edges = result.spanner.num_edges();
+  result.stretch = measure_stretch(g, result.spanner);
+  return result;
+}
+
+}  // namespace
+
+SpannerResult spanner_by_decomposition(const Graph& g,
+                                       const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  DSND_REQUIRE(clustering.is_complete(),
+               "spanner requires a complete partition");
+  std::set<Edge> edges;
+  const auto members = clustering.members();
+  for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
+    add_bfs_tree(g, members[static_cast<std::size_t>(c)],
+                 clustering.center_of(c), edges);
+  }
+  // One connecting edge per adjacent cluster pair: the lexicographically
+  // smallest, for determinism.
+  std::set<std::pair<ClusterId, ClusterId>> connected_pairs;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    ClusterId cu = clustering.cluster_of(u);
+    ClusterId cv = clustering.cluster_of(v);
+    if (cu == cv) return;
+    if (cu > cv) std::swap(cu, cv);
+    if (connected_pairs.insert({cu, cv}).second) {
+      edges.insert({std::min(u, v), std::max(u, v)});
+    }
+  });
+  return finish(g, std::move(edges));
+}
+
+SpannerResult spanner_from_cover(const Graph& g,
+                                 const NeighborhoodCover& cover) {
+  DSND_REQUIRE(cover.radius >= 1, "cover radius must be >= 1");
+  std::set<Edge> edges;
+  for (const CoverCluster& cluster : cover.clusters) {
+    add_bfs_tree(g, cluster.members, cluster.center, edges);
+  }
+  return finish(g, std::move(edges));
+}
+
+std::int32_t measure_stretch(const Graph& g, const Graph& spanner) {
+  DSND_REQUIRE(spanner.num_vertices() == g.num_vertices(),
+               "spanner must be on the same vertex set");
+  std::int32_t stretch = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 0) continue;
+    const auto dist = bfs_distances(spanner, v);
+    for (VertexId w : g.neighbors(v)) {
+      if (w < v) continue;
+      const std::int32_t d = dist[static_cast<std::size_t>(w)];
+      if (d == kUnreachable) return kInfiniteDiameter;
+      stretch = std::max(stretch, d);
+    }
+  }
+  return stretch;
+}
+
+}  // namespace dsnd

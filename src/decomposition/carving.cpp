@@ -1,0 +1,214 @@
+#include "decomposition/carving.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+bool CarveEntry::beats(const CarveEntry& other) const {
+  if (!valid()) return false;
+  if (!other.valid()) return true;
+  const double lhs = value();
+  const double rhs = other.value();
+  if (lhs != rhs) return lhs > rhs;
+  return center < other.center;
+}
+
+double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
+                           VertexId v, double beta) {
+  Xoshiro256ss rng(stream_seed(seed, static_cast<std::uint64_t>(phase) + 1,
+                               static_cast<std::uint64_t>(v) + 1));
+  return sample_exponential(rng, beta);
+}
+
+namespace {
+
+/// Inserts `candidate` into the (best, second) slots of vertex y,
+/// deduplicating by center: a later entry for the same center only
+/// replaces the stored one if it carries a larger shifted value.
+/// Returns true if the stored state changed.
+bool merge_entry(CarveEntry& best, CarveEntry& second,
+                 const CarveEntry& candidate) {
+  if (!candidate.valid()) return false;
+  if (best.valid() && best.center == candidate.center) {
+    if (candidate.beats(best)) {
+      best = candidate;
+      return true;
+    }
+    return false;
+  }
+  if (second.valid() && second.center == candidate.center) {
+    if (candidate.beats(second)) {
+      second = candidate;
+      // The improved second entry may now beat the best.
+      if (second.beats(best)) std::swap(best, second);
+      return true;
+    }
+    return false;
+  }
+  if (candidate.beats(best)) {
+    second = best;
+    best = candidate;
+    return true;
+  }
+  if (candidate.beats(second)) {
+    second = candidate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PhaseState run_phase_broadcast(const Graph& g, const std::vector<char>& alive,
+                               const std::vector<double>& radii,
+                               std::int32_t phase_rounds,
+                               ForwardPolicy policy) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  DSND_REQUIRE(alive.size() == n, "alive mask size mismatch");
+  DSND_REQUIRE(radii.size() == n, "radii size mismatch");
+  DSND_REQUIRE(phase_rounds >= 0, "phase_rounds must be nonnegative");
+
+  PhaseState state;
+  state.best.assign(n, CarveEntry{});
+  state.second.assign(n, CarveEntry{});
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    state.max_radius = std::max(state.max_radius, radii[v]);
+    // Every live vertex hears its own broadcast at distance 0.
+    state.best[v] = CarveEntry{radii[v], 0, static_cast<VertexId>(v)};
+  }
+
+  // Synchronous top-2 relaxation: in each round every live vertex offers
+  // its current top-2 entries (one hop farther) to its live neighbors.
+  // This is exactly what the CONGEST protocol transmits; see
+  // elkin_neiman_distributed.cpp. Entries stop propagating once the hop
+  // count would exceed ⌊r⌋ (the broadcast range) or the round budget.
+  std::vector<CarveEntry> offer_best(n), offer_second(n);
+  for (std::int32_t round = 0; round < phase_rounds; ++round) {
+    for (std::size_t v = 0; v < n; ++v) {
+      offer_best[v] = state.best[v];
+      offer_second[v] = state.second[v];
+    }
+    bool changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      for (const CarveEntry* offered : {&offer_best[v], &offer_second[v]}) {
+        if (policy == ForwardPolicy::kTop1 && offered == &offer_second[v]) {
+          continue;  // ablation: suppress the second-best value
+        }
+        if (!offered->valid()) continue;
+        const std::int32_t next_dist = offered->dist + 1;
+        if (static_cast<double>(next_dist) >
+            std::floor(offered->radius)) {
+          continue;  // beyond the ⌊r_v⌋ broadcast range
+        }
+        const CarveEntry forwarded{offered->radius, next_dist,
+                                   offered->center};
+        for (VertexId w : g.neighbors(static_cast<VertexId>(v))) {
+          if (!alive[static_cast<std::size_t>(w)]) continue;
+          changed |= merge_entry(state.best[static_cast<std::size_t>(w)],
+                                 state.second[static_cast<std::size_t>(w)],
+                                 forwarded);
+        }
+      }
+    }
+    if (!changed) break;  // fixed point reached early; rounds still billed
+  }
+  return state;
+}
+
+bool phase_join_decision(const CarveEntry& best, const CarveEntry& second,
+                         double margin) {
+  if (!best.valid()) return false;
+  const double m1 = best.value();
+  const double m2 = second.valid() ? second.value() : 0.0;
+  return m1 - m2 > margin;
+}
+
+CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
+  DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
+  DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
+  for (double beta : params.betas) {
+    DSND_REQUIRE(beta > 0.0, "every beta must be positive");
+  }
+
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CarveResult result;
+  result.clustering = Clustering(g.num_vertices());
+  result.target_phases = static_cast<std::int32_t>(params.betas.size());
+
+  std::vector<char> alive(n, 1);
+  std::vector<double> radii(n, 0.0);
+  VertexId remaining = g.num_vertices();
+
+  // Cap runaway loops: even beta close to 0 empties the graph in one
+  // phase, so this bound is never hit in practice.
+  const std::int32_t hard_cap =
+      result.target_phases * 16 + g.num_vertices() + 16;
+
+  std::int32_t phase = 0;
+  while (remaining > 0) {
+    if (phase >= result.target_phases && !params.run_to_completion) break;
+    DSND_CHECK(phase < hard_cap, "carving failed to converge");
+    const double beta =
+        phase < result.target_phases
+            ? params.betas[static_cast<std::size_t>(phase)]
+            : params.betas.back();
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      radii[v] = carve_radius_sample(params.seed, phase,
+                                     static_cast<VertexId>(v), beta);
+      if (radii[v] >= params.radius_overflow_at) {
+        result.radius_overflow = true;
+      }
+    }
+
+    PhaseState state = run_phase_broadcast(g, alive, radii,
+                                           params.phase_rounds,
+                                           params.forward_policy);
+    result.max_sampled_radius =
+        std::max(result.max_sampled_radius, state.max_radius);
+
+    // Collect joiners grouped by chosen center; each (phase, center)
+    // group is one cluster (Claim 3 makes it connected).
+    std::vector<VertexId> joiners;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      if (phase_join_decision(state.best[v], state.second[v],
+                              params.margin)) {
+        joiners.push_back(static_cast<VertexId>(v));
+      }
+    }
+
+    std::vector<ClusterId> cluster_of_center(n, kNoCluster);
+    for (VertexId y : joiners) {
+      const VertexId center = state.best[static_cast<std::size_t>(y)].center;
+      ClusterId& c = cluster_of_center[static_cast<std::size_t>(center)];
+      if (c == kNoCluster) {
+        c = result.clustering.add_cluster(center, phase);
+      }
+      result.clustering.assign(y, c);
+      alive[static_cast<std::size_t>(y)] = 0;
+    }
+    remaining -= static_cast<VertexId>(joiners.size());
+    result.carved_per_phase.push_back(
+        static_cast<VertexId>(joiners.size()));
+    ++phase;
+  }
+
+  result.phases_used = phase;
+  result.exhausted_within_target =
+      remaining == 0 && phase <= result.target_phases;
+  result.rounds = static_cast<std::int64_t>(phase) *
+                  (static_cast<std::int64_t>(params.phase_rounds) + 1);
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,124 @@
+// Shared machinery for shifted-exponential block carving (Section 2 of
+// the paper). All three theorems instantiate the same per-phase process
+// with different beta schedules:
+//
+//   phase t on the surviving graph G_t:
+//     every live vertex v samples r_v ~ EXP(beta_t);
+//     v's value is broadcast ⌊r_v⌋ hops through G_t, so a vertex y learns
+//       m_i = r_{v_i} - d_{G_t}(y, v_i) for every v_i whose broadcast
+//       reaches it (including itself, giving m >= 0 always);
+//     y joins the block W_t iff m_1 - m_2 > 1 (m_2 := 0 when only one
+//       broadcast arrived), choosing the argmax center v_1;
+//     W_t is removed: G_{t+1} = G_t \ W_t.
+//
+// Clusters are the per-(phase, center) groups; Claim 3 of the paper makes
+// them connected with strong diameter <= 2k-2 provided no sampled radius
+// reached k+1 (Lemma 1's event). The carver runs the broadcast as exactly
+// ceil(k) rounds of top-2 relaxation — the same fixed point the CONGEST
+// protocol computes — so the centralized and distributed implementations
+// agree bit-for-bit on the same seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// One (center, shifted value) candidate tracked during a phase.
+struct CarveEntry {
+  double radius = -1.0;   // r_v sampled at the center
+  std::int32_t dist = 0;  // hops travelled from the center so far
+  VertexId center = -1;
+
+  double value() const { return radius - static_cast<double>(dist); }
+
+  /// Ordering used everywhere: larger shifted value wins; ties (measure
+  /// zero with continuous radii, but possible in adversarial tests) break
+  /// toward the smaller center id so all nodes agree.
+  bool beats(const CarveEntry& other) const;
+
+  bool valid() const { return center >= 0; }
+};
+
+/// What each vertex forwards during the broadcast. The paper's CONGEST
+/// observation is that the top-2 suffices for exact decisions; kTop1 is
+/// an ablation showing that forwarding only the best value yields stale
+/// second-place estimates and wrong clusterings.
+enum class ForwardPolicy { kTop2, kTop1 };
+
+/// Parameters of a full carving run.
+struct CarveParams {
+  /// beta for phase t (0-based); called once per phase.
+  std::vector<double> betas;
+  /// Broadcast rounds per phase: ceil(k). Radii are truncated to this many
+  /// hops, which only matters when Lemma 1's low-probability event occurs.
+  std::int32_t phase_rounds = 1;
+  /// Join margin; the paper's rule is margin = 1. Exposed for the E9
+  /// ablation (margin 0 mimics a Linial–Saks-style non-strict rule).
+  double margin = 1.0;
+  /// E9 ablation knob; the distributed protocol supports kTop2 only.
+  ForwardPolicy forward_policy = ForwardPolicy::kTop2;
+  /// Radius threshold of Lemma 1's bad event: some r_v >= radius_overflow_at
+  /// (the paper's k+1). Runs report whether it happened.
+  double radius_overflow_at = 2.0;
+  /// If true, keep carving with the last beta after the schedule is
+  /// exhausted until every vertex is clustered (so the output is always a
+  /// complete partition); the theorem's success event is
+  /// phases_used <= betas.size(), reported separately.
+  bool run_to_completion = true;
+  std::uint64_t seed = 1;
+};
+
+struct CarveResult {
+  Clustering clustering;
+  /// Phases actually executed (== colors used, since phase = color).
+  std::int32_t phases_used = 0;
+  /// Scheduled phases (the theorem's lambda).
+  std::int32_t target_phases = 0;
+  /// True iff the graph was exhausted within target_phases.
+  bool exhausted_within_target = false;
+  /// Lemma 1's event: some sampled radius reached radius_overflow_at.
+  bool radius_overflow = false;
+  double max_sampled_radius = 0.0;
+  /// Vertices carved in each executed phase.
+  std::vector<VertexId> carved_per_phase;
+  /// Simulated distributed rounds: phases_used * (phase_rounds + 1); each
+  /// phase spends phase_rounds broadcasting plus one round announcing
+  /// membership so neighbors learn the surviving graph.
+  std::int64_t rounds = 0;
+};
+
+/// Samples r_v for vertex v in phase t: EXP(beta) via the per-(seed,
+/// phase, vertex) stream. Exposed so the distributed protocol and tests
+/// draw identical values.
+double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
+                           VertexId v, double beta);
+
+/// Runs one phase over the vertices with alive[v] != 0. Returns for every
+/// vertex its top-2 entries after `phase_rounds` rounds of truncated
+/// broadcast (entries of dead vertices are invalid). Used by
+/// carve_decomposition and, with the same semantics, by the tests that
+/// cross-check the relaxation against ground-truth BFS.
+struct PhaseState {
+  std::vector<CarveEntry> best;    // per vertex
+  std::vector<CarveEntry> second;  // per vertex
+  double max_radius = 0.0;
+};
+
+PhaseState run_phase_broadcast(
+    const Graph& g, const std::vector<char>& alive,
+    const std::vector<double>& radii, std::int32_t phase_rounds,
+    ForwardPolicy policy = ForwardPolicy::kTop2);
+
+/// Join rule applied to a vertex's phase state (the m1 - m2 > margin test).
+bool phase_join_decision(const CarveEntry& best, const CarveEntry& second,
+                         double margin);
+
+/// Full carving run over a beta schedule; the core of Theorems 1-3.
+CarveResult carve_decomposition(const Graph& g, const CarveParams& params);
+
+}  // namespace dsnd

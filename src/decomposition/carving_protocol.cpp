@@ -1,0 +1,235 @@
+#include "decomposition/carving_protocol.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "simulator/engine.hpp"
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+namespace {
+
+constexpr std::uint64_t kTagEntry = 1;
+constexpr std::uint64_t kTagLeave = 2;
+
+std::uint64_t pack_double(double x) { return std::bit_cast<std::uint64_t>(x); }
+double unpack_double(std::uint64_t w) { return std::bit_cast<double>(w); }
+
+bool same_entry(const CarveEntry& a, const CarveEntry& b) {
+  return a.center == b.center && a.dist == b.dist && a.radius == b.radius;
+}
+
+class CarvingProtocol final : public Protocol {
+ public:
+  explicit CarvingProtocol(const CarveParams& params) : params_(params) {}
+
+  void begin(const Graph& g) override {
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    graph_ = &g;
+    alive_.assign(n, 1);
+    best_.assign(n, CarveEntry{});
+    second_.assign(n, CarveEntry{});
+    sent_best_.assign(n, CarveEntry{});
+    sent_second_.assign(n, CarveEntry{});
+    chosen_center_.assign(n, -1);
+    chosen_phase_.assign(n, -1);
+    remaining_ = g.num_vertices();
+    radius_overflow_ = false;
+    max_sampled_radius_ = 0.0;
+    phases_used_ = 0;
+  }
+
+  void on_round(VertexId v, std::size_t round,
+                std::span<const Message> inbox, Outbox& out) override {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!alive_[vi]) return;
+    const auto phase_len =
+        static_cast<std::size_t>(params_.phase_rounds) + 1;
+    const auto phase = static_cast<std::int32_t>(round / phase_len);
+    const auto step = static_cast<std::int32_t>(round % phase_len);
+
+    if (step == 0) {
+      // Instrumentation only: the first live vertex to reach a phase
+      // advances the global counter.
+      if (phases_used_ <= phase) phases_used_ = phase + 1;
+      const double beta =
+          phase < static_cast<std::int32_t>(params_.betas.size())
+              ? params_.betas[static_cast<std::size_t>(phase)]
+              : params_.betas.back();
+      const double r = carve_radius_sample(params_.seed, phase, v, beta);
+      if (r >= params_.radius_overflow_at) radius_overflow_ = true;
+      if (r > max_sampled_radius_) max_sampled_radius_ = r;
+      best_[vi] = CarveEntry{r, 0, v};
+      second_[vi] = CarveEntry{};
+      sent_best_[vi] = CarveEntry{};
+      sent_second_[vi] = CarveEntry{};
+      send_changed(v, out);
+      return;
+    }
+
+    for (const Message& msg : inbox) {
+      if (msg.words.empty() || msg.words[0] != kTagEntry) continue;
+      DSND_CHECK(msg.words.size() == 4, "malformed entry message");
+      CarveEntry entry;
+      entry.center = static_cast<VertexId>(msg.words[1]);
+      entry.radius = unpack_double(msg.words[2]);
+      entry.dist = static_cast<std::int32_t>(msg.words[3]);
+      merge(vi, entry);
+    }
+
+    if (step < params_.phase_rounds) {
+      send_changed(v, out);
+      return;
+    }
+
+    // Deciding step.
+    if (phase_join_decision(best_[vi], second_[vi], params_.margin)) {
+      chosen_center_[vi] = best_[vi].center;
+      chosen_phase_[vi] = phase;
+      alive_[vi] = 0;
+      --remaining_;
+      const std::uint64_t words[] = {kTagLeave};
+      out.send_to_all_neighbors(words);
+    }
+  }
+
+  bool finished() const override { return remaining_ == 0; }
+
+  CarveResult build_result() const {
+    CarveResult result;
+    const auto n = static_cast<std::size_t>(graph_->num_vertices());
+    result.clustering = Clustering(graph_->num_vertices());
+    result.target_phases = static_cast<std::int32_t>(params_.betas.size());
+    result.phases_used = phases_used_;
+    result.exhausted_within_target =
+        remaining_ == 0 && phases_used_ <= result.target_phases;
+    result.radius_overflow = radius_overflow_;
+    result.max_sampled_radius = max_sampled_radius_;
+    result.rounds = static_cast<std::int64_t>(phases_used_) *
+                    (static_cast<std::int64_t>(params_.phase_rounds) + 1);
+
+    result.carved_per_phase.assign(
+        static_cast<std::size_t>(phases_used_), 0);
+    // Clusters in the same deterministic order as carve_decomposition:
+    // by phase, then by member vertex id at first appearance.
+    std::vector<ClusterId> cluster_of_center(n, kNoCluster);
+    for (std::int32_t phase = 0; phase < phases_used_; ++phase) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (chosen_phase_[v] != phase) continue;
+        ++result.carved_per_phase[static_cast<std::size_t>(phase)];
+        const auto center = static_cast<std::size_t>(chosen_center_[v]);
+        if (cluster_of_center[center] == kNoCluster ||
+            result.clustering.color_of(cluster_of_center[center]) !=
+                phase) {
+          cluster_of_center[center] = result.clustering.add_cluster(
+              static_cast<VertexId>(center), phase);
+        }
+        result.clustering.assign(static_cast<VertexId>(v),
+                                 cluster_of_center[center]);
+      }
+    }
+    return result;
+  }
+
+  VertexId remaining() const { return remaining_; }
+
+ private:
+  void merge(std::size_t vi, const CarveEntry& entry) {
+    CarveEntry& best = best_[vi];
+    CarveEntry& second = second_[vi];
+    if (best.valid() && best.center == entry.center) {
+      if (entry.beats(best)) best = entry;
+      return;
+    }
+    if (second.valid() && second.center == entry.center) {
+      if (entry.beats(second)) {
+        second = entry;
+        if (second.beats(best)) std::swap(best, second);
+      }
+      return;
+    }
+    if (entry.beats(best)) {
+      second = best;
+      best = entry;
+    } else if (entry.beats(second)) {
+      second = entry;
+    }
+  }
+
+  /// Forwards each of the current top-2 entries that (a) still has
+  /// broadcast budget and (b) was not already transmitted by this vertex
+  /// (receivers merge idempotently, so one transmission suffices).
+  void send_changed(VertexId v, Outbox& out) {
+    const auto vi = static_cast<std::size_t>(v);
+    for (CarveEntry* entry : {&best_[vi], &second_[vi]}) {
+      if (!entry->valid()) continue;
+      if (same_entry(*entry, sent_best_[vi]) ||
+          same_entry(*entry, sent_second_[vi])) {
+        continue;
+      }
+      const std::int32_t next_dist = entry->dist + 1;
+      const bool in_range =
+          static_cast<double>(next_dist) <= std::floor(entry->radius);
+      if (in_range) {
+        for (VertexId w : graph_->neighbors(v)) {
+          // Dead neighbors discard silently; a vertex does not learn
+          // which neighbor left, only that someone did.
+          out.send(w,
+                   {kTagEntry, static_cast<std::uint64_t>(entry->center),
+                    pack_double(entry->radius),
+                    static_cast<std::uint64_t>(next_dist)});
+        }
+      }
+      // Mark transmitted (or skipped-as-out-of-range) so the same entry
+      // is never reconsidered.
+      sent_second_[vi] = sent_best_[vi];
+      sent_best_[vi] = *entry;
+    }
+  }
+
+  const CarveParams params_;
+  const Graph* graph_ = nullptr;
+  std::vector<char> alive_;
+  std::vector<CarveEntry> best_;
+  std::vector<CarveEntry> second_;
+  std::vector<CarveEntry> sent_best_;
+  std::vector<CarveEntry> sent_second_;
+  std::vector<VertexId> chosen_center_;
+  std::vector<std::int32_t> chosen_phase_;
+  VertexId remaining_ = 0;
+  bool radius_overflow_ = false;
+  double max_sampled_radius_ = 0.0;
+  std::int32_t phases_used_ = 0;
+};
+
+}  // namespace
+
+DistributedCarveResult carve_decomposition_distributed(
+    const Graph& g, const CarveParams& params) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
+  DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
+  DSND_REQUIRE(params.margin == 1.0,
+               "the distributed protocol implements the paper's margin of 1");
+  DSND_REQUIRE(params.forward_policy == ForwardPolicy::kTop2,
+               "the distributed protocol implements top-2 forwarding only");
+  DSND_REQUIRE(params.run_to_completion,
+               "the distributed protocol always carves to completion");
+
+  CarvingProtocol protocol(params);
+  SyncEngine engine(g);
+  const std::size_t max_rounds =
+      (params.betas.size() * 8 + static_cast<std::size_t>(g.num_vertices()) +
+       64) *
+      (static_cast<std::size_t>(params.phase_rounds) + 1);
+  DistributedCarveResult result;
+  result.sim = engine.run(protocol, max_rounds);
+  DSND_CHECK(protocol.remaining() == 0,
+             "distributed carving failed to exhaust the graph");
+  result.carve = protocol.build_result();
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,44 @@
+// Generic CONGEST carving protocol: the message-passing realization of
+// carve_decomposition() for an arbitrary beta schedule, which makes all
+// three theorems runnable as genuine distributed algorithms:
+//   - Theorem 1: constant beta = ln(cn)/k            (elkin_neiman_distributed)
+//   - Theorem 2: stage-decaying beta_i = ln(cn/e^i)/k (multistage_distributed)
+//   - Theorem 3: beta = (cn)^{-1/lambda}, long phases (high_radius_distributed)
+//
+// Message discipline (the paper's CONGEST observation): each vertex
+// forwards only its top-2 shifted values, one entry per message —
+// [tag, center, radius-bits, dist], 4 words. An entry is (re)sent only
+// when it changed at this vertex, so traffic per phase is proportional
+// to the number of top-2 improvements rather than phase length.
+//
+// On the same seed the protocol is bit-identical to carve_decomposition:
+// both draw r_v from stream (seed, phase, vertex) and both compute the
+// same top-2 fixed point (see the displacement argument in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomposition/carving.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
+
+namespace dsnd {
+
+struct DistributedCarveResult {
+  CarveResult carve;
+  SimMetrics sim;
+};
+
+/// Runs the carving schedule as a distributed protocol on the synchronous
+/// simulator. params.margin must be 1 (the paper's rule); the schedule,
+/// phase length, overflow threshold, and completion semantics match
+/// carve_decomposition exactly.
+DistributedCarveResult carve_decomposition_distributed(
+    const Graph& g, const CarveParams& params);
+
+/// Largest message the protocol emits, in 64-bit words.
+inline constexpr std::size_t kCarveProtocolMaxWords = 4;
+
+}  // namespace dsnd

@@ -1,0 +1,61 @@
+#include "decomposition/elkin_neiman.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+std::int32_t resolve_k(VertexId n, std::int32_t k) {
+  DSND_REQUIRE(k >= 0, "k must be nonnegative (0 = auto)");
+  if (k > 0) return k;
+  const double ln_n = std::log(std::max<VertexId>(n, 2));
+  return std::max<std::int32_t>(1,
+                                static_cast<std::int32_t>(std::ceil(ln_n)));
+}
+
+double elkin_neiman_beta(VertexId n, std::int32_t k, double c) {
+  DSND_REQUIRE(n >= 1, "graph must be nonempty");
+  DSND_REQUIRE(k >= 1, "k must be positive");
+  DSND_REQUIRE(c > 0.0, "c must be positive");
+  return std::log(c * static_cast<double>(n)) / static_cast<double>(k);
+}
+
+std::int32_t elkin_neiman_target_phases(VertexId n, std::int32_t k,
+                                        double c) {
+  const double cn = c * static_cast<double>(n);
+  const double lambda =
+      std::pow(cn, 1.0 / static_cast<double>(k)) * std::log(cn);
+  return std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::ceil(lambda)));
+}
+
+DecompositionRun elkin_neiman_decomposition(
+    const Graph& g, const ElkinNeimanOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DSND_REQUIRE(options.c > 0.0, "c must be positive");
+  const VertexId n = g.num_vertices();
+  const std::int32_t k = resolve_k(n, options.k);
+  const double beta = elkin_neiman_beta(n, k, options.c);
+  const std::int32_t lambda = elkin_neiman_target_phases(n, k, options.c);
+
+  CarveParams params;
+  params.betas.assign(static_cast<std::size_t>(lambda), beta);
+  params.phase_rounds = k;
+  params.margin = options.margin;
+  params.radius_overflow_at = static_cast<double>(k) + 1.0;
+  params.run_to_completion = options.run_to_completion;
+  params.seed = options.seed;
+
+  DecompositionRun run;
+  run.carve = carve_decomposition(g, params);
+  run.k = static_cast<double>(k);
+  run.c = options.c;
+  run.bounds.strong_diameter = 2.0 * k - 2.0;
+  run.bounds.colors = static_cast<double>(lambda);
+  run.bounds.rounds = static_cast<double>(k) * static_cast<double>(lambda);
+  run.bounds.success_probability = 1.0 - 3.0 / options.c;
+  return run;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,67 @@
+// Theorem 1 of the paper: for 1 <= k <= ln n and c > 3, a randomized
+// strong (2k-2, (cn)^{1/k} ln(cn)) network decomposition computed in
+// k (cn)^{1/k} ln(cn) rounds with probability >= 1 - 3/c, with O(1)-word
+// messages. With k = ceil(ln n) this is the paper's headline strong
+// (O(log n), O(log n)) decomposition in O(log^2 n) rounds.
+//
+// This is the centralized reference implementation: it executes the same
+// random process as the CONGEST protocol (elkin_neiman_distributed.hpp)
+// on the same seed and produces bit-identical clusterings.
+#pragma once
+
+#include <cstdint>
+
+#include "decomposition/carving.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Bounds promised by whichever theorem parameterized the run; benches
+/// print measured-vs-bound and tests assert the measured side.
+struct TheoremBounds {
+  double strong_diameter = 0.0;
+  double colors = 0.0;
+  double rounds = 0.0;
+  double success_probability = 0.0;
+};
+
+struct DecompositionRun {
+  CarveResult carve;
+  TheoremBounds bounds;
+  /// Effective radius parameter (integer k for Theorems 1-2; the derived
+  /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
+  double k = 0.0;
+  double c = 0.0;
+
+  const Clustering& clustering() const { return carve.clustering; }
+};
+
+struct ElkinNeimanOptions {
+  /// Radius parameter; 0 selects ceil(ln n) (the headline regime).
+  std::int32_t k = 0;
+  /// Failure parameter; success probability is 1 - 3/c. Must exceed 3 for
+  /// the theorem to be nontrivial, but any positive value runs.
+  double c = 4.0;
+  std::uint64_t seed = 1;
+  /// Join margin (paper: 1). Exposed only for the E9 ablation; values
+  /// below 1 void the strong-diameter guarantee.
+  double margin = 1.0;
+  /// Keep carving past lambda phases until the partition is complete
+  /// (success of the theorem = not needing to).
+  bool run_to_completion = true;
+};
+
+/// The number of phases lambda = ceil((cn)^{1/k} ln(cn)) of Theorem 1.
+std::int32_t elkin_neiman_target_phases(VertexId n, std::int32_t k, double c);
+
+/// beta = ln(cn) / k.
+double elkin_neiman_beta(VertexId n, std::int32_t k, double c);
+
+/// Resolves options.k == 0 to ceil(ln n) (at least 1).
+std::int32_t resolve_k(VertexId n, std::int32_t k);
+
+DecompositionRun elkin_neiman_decomposition(const Graph& g,
+                                            const ElkinNeimanOptions& options);
+
+}  // namespace dsnd

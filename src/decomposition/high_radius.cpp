@@ -1,0 +1,46 @@
+#include "decomposition/high_radius.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+double high_radius_k(VertexId n, std::int32_t lambda, double c) {
+  DSND_REQUIRE(n >= 1, "graph must be nonempty");
+  DSND_REQUIRE(lambda >= 1, "lambda must be positive");
+  DSND_REQUIRE(c > 0.0, "c must be positive");
+  const double cn = c * static_cast<double>(n);
+  return std::pow(cn, 1.0 / static_cast<double>(lambda)) * std::log(cn);
+}
+
+DecompositionRun high_radius_decomposition(const Graph& g,
+                                           const HighRadiusOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  const VertexId n = g.num_vertices();
+  const double k = high_radius_k(n, options.lambda, options.c);
+  const double cn = options.c * static_cast<double>(n);
+  // beta = ln(cn)/k = (cn)^{-1/lambda}: per-phase join probability
+  // e^{-beta} is a constant close to 1, so lambda phases suffice.
+  const double beta = std::log(cn) / k;
+
+  CarveParams params;
+  params.betas.assign(static_cast<std::size_t>(options.lambda), beta);
+  params.phase_rounds = static_cast<std::int32_t>(std::ceil(k));
+  params.margin = 1.0;
+  params.radius_overflow_at = k + 1.0;
+  params.run_to_completion = options.run_to_completion;
+  params.seed = options.seed;
+
+  DecompositionRun run;
+  run.carve = carve_decomposition(g, params);
+  run.k = k;
+  run.c = options.c;
+  run.bounds.strong_diameter = 2.0 * k;  // paper states 2 (cn)^{1/λ} ln(cn)
+  run.bounds.colors = static_cast<double>(options.lambda);
+  run.bounds.rounds = static_cast<double>(options.lambda) * k;
+  run.bounds.success_probability = 1.0 - 3.0 / options.c;
+  return run;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,32 @@
+// Theorem 3 of the paper (Section 2.2, "High Radius Regime"): for
+// 1 <= lambda <= ln n and c > 3, a strong (2(cn)^{1/lambda} ln(cn),
+// lambda) network decomposition in lambda (cn)^{1/lambda} ln(cn) rounds
+// with probability >= 1 - 3/c.
+//
+// The inverse tradeoff of Theorem 1: fix the number of colors at lambda
+// and pay radius k = (cn)^{1/lambda} ln(cn) instead. Same carving with a
+// real-valued k.
+#pragma once
+
+#include <cstdint>
+
+#include "decomposition/elkin_neiman.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct HighRadiusOptions {
+  /// Desired number of colors (blocks).
+  std::int32_t lambda = 2;
+  double c = 4.0;
+  std::uint64_t seed = 1;
+  bool run_to_completion = true;
+};
+
+/// The derived radius parameter k = (cn)^{1/lambda} ln(cn).
+double high_radius_k(VertexId n, std::int32_t lambda, double c);
+
+DecompositionRun high_radius_decomposition(const Graph& g,
+                                           const HighRadiusOptions& options);
+
+}  // namespace dsnd

@@ -1,0 +1,169 @@
+#include "decomposition/hst.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decomposition/mpx.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+double HstTree::distance(VertexId u, VertexId v) const {
+  DSND_REQUIRE(u >= 0 && u < num_vertices(), "u out of range");
+  DSND_REQUIRE(v >= 0 && v < num_vertices(), "v out of range");
+  if (u == v) return 0.0;
+  // Climb both leaves to the root, recording cumulative weights, then
+  // find the lowest common ancestor by set intersection of the paths.
+  std::vector<std::int32_t> path_u, path_v;
+  std::vector<double> acc_u, acc_v;
+  double sum = 0.0;
+  for (std::int32_t node = leaf_of(u); node != -1; node = parent(node)) {
+    path_u.push_back(node);
+    acc_u.push_back(sum);
+    if (parent(node) != -1) sum += edge_weight(node);
+  }
+  sum = 0.0;
+  for (std::int32_t node = leaf_of(v); node != -1; node = parent(node)) {
+    path_v.push_back(node);
+    acc_v.push_back(sum);
+    if (parent(node) != -1) sum += edge_weight(node);
+  }
+  for (std::size_t i = 0; i < path_u.size(); ++i) {
+    for (std::size_t j = 0; j < path_v.size(); ++j) {
+      if (path_u[i] == path_v[j]) {
+        return acc_u[i] + acc_v[j];
+      }
+    }
+  }
+  return -1.0;  // different components
+}
+
+HstTree build_hst(const Graph& g, const HstOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DSND_REQUIRE(options.c > 0.0, "c must be positive");
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  HstTree tree;
+  tree.leaf_of_.assign(n, -1);
+
+  // Level i_max: connected components become the roots.
+  const Components components = connected_components(g);
+  const auto groups = components.groups();
+  std::int32_t diameter = 0;
+  for (const auto& group : groups) {
+    const InducedSubgraph sub = induced_subgraph(g, group);
+    diameter = std::max(diameter, exact_diameter(sub.graph));
+  }
+  std::int32_t levels = 1;
+  while ((1 << levels) < std::max(diameter, 1)) ++levels;
+  tree.num_levels_ = levels + 1;
+
+  struct Work {
+    std::vector<VertexId> members;
+    std::int32_t node = -1;
+    std::int32_t level = 0;
+  };
+  std::vector<Work> queue;
+  for (const auto& group : groups) {
+    const auto node = static_cast<std::int32_t>(tree.parent_.size());
+    tree.parent_.push_back(-1);
+    tree.weight_.push_back(0.0);
+    queue.push_back({group, node, levels});
+  }
+
+  const double ln_cn =
+      std::log(options.c * static_cast<double>(std::max<VertexId>(
+                               g.num_vertices(), 2)));
+
+  while (!queue.empty()) {
+    const Work work = std::move(queue.back());
+    queue.pop_back();
+
+    if (work.members.size() == 1 || work.level == 0) {
+      // Leaves: singleton nodes, one per vertex. A multi-vertex level-0
+      // cluster still fans out into singleton leaves so every vertex has
+      // its own leaf.
+      const InducedSubgraph sub = induced_subgraph(g, work.members);
+      const double parent_diam =
+          static_cast<double>(std::max(exact_diameter(sub.graph), 1));
+      for (const VertexId v : work.members) {
+        if (work.members.size() == 1) {
+          tree.leaf_of_[static_cast<std::size_t>(v)] = work.node;
+        } else {
+          const auto node = static_cast<std::int32_t>(tree.parent_.size());
+          tree.parent_.push_back(work.node);
+          tree.weight_.push_back(parent_diam / 2.0);
+          tree.leaf_of_[static_cast<std::size_t>(v)] = node;
+        }
+      }
+      continue;
+    }
+
+    // Partition this cluster's induced subgraph with MPX at the level's
+    // beta; children recurse one level down.
+    const InducedSubgraph sub = induced_subgraph(g, work.members);
+    const double parent_diam =
+        static_cast<double>(std::max(exact_diameter(sub.graph), 1));
+    const double beta = std::max(
+        1e-6, ln_cn / static_cast<double>(1 << work.level));
+    MpxOptions mpx;
+    mpx.beta = beta;
+    mpx.seed = stream_seed(options.seed,
+                           static_cast<std::uint64_t>(work.level),
+                           static_cast<std::uint64_t>(work.node));
+    const MpxResult partition = mpx_partition(sub.graph, mpx);
+    const auto child_members = partition.clustering.members();
+    for (const auto& child : child_members) {
+      std::vector<VertexId> mapped;
+      mapped.reserve(child.size());
+      for (const VertexId s : child) mapped.push_back(sub.parent_of(s));
+      const auto node = static_cast<std::int32_t>(tree.parent_.size());
+      tree.parent_.push_back(work.node);
+      tree.weight_.push_back(parent_diam / 2.0);
+      queue.push_back({std::move(mapped), node, work.level - 1});
+    }
+  }
+  return tree;
+}
+
+StretchReport measure_hst_stretch(const Graph& g, const HstTree& tree,
+                                  std::int64_t pairs, std::uint64_t seed) {
+  DSND_REQUIRE(tree.num_vertices() == g.num_vertices(),
+               "tree does not match graph");
+  DSND_REQUIRE(pairs >= 1, "need at least one sample pair");
+  StretchReport report;
+  Xoshiro256ss rng(stream_seed(seed, 0x687374ULL, 1));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < pairs; ++i) {
+    const auto u = static_cast<VertexId>(
+        uniform_below(rng, static_cast<std::uint64_t>(g.num_vertices())));
+    // BFS once per sampled source; pick a random reachable target.
+    const auto dist = bfs_distances(g, u);
+    std::vector<VertexId> reachable;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (v != u && dist[static_cast<std::size_t>(v)] != kUnreachable) {
+        reachable.push_back(v);
+      }
+    }
+    if (reachable.empty()) continue;
+    const VertexId v = reachable[uniform_below(rng, reachable.size())];
+    const double dg =
+        static_cast<double>(dist[static_cast<std::size_t>(v)]);
+    const double dt = tree.distance(u, v);
+    DSND_CHECK(dt >= 0.0, "connected pair must have finite tree distance");
+    if (dt < dg) report.dominating = false;
+    const double stretch = dt / dg;
+    total += stretch;
+    report.max = std::max(report.max, stretch);
+    ++report.pairs;
+  }
+  if (report.pairs > 0) {
+    report.mean = total / static_cast<double>(report.pairs);
+  }
+  return report;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,78 @@
+// Hierarchically separated tree (HST) embeddings from nested padded
+// partitions — the [Bar96] direction the paper discusses: Bartal showed
+// the Linial–Saks decomposition technique yields probabilistic tree
+// embeddings; this paper imports the reverse (MPX padded partitions ->
+// strong decompositions). Here we compose the library's MPX partitioner
+// into the classic top-down hierarchy:
+//
+//   level i_max: connected components;
+//   level i:     each level-(i+1) cluster is re-partitioned by MPX with
+//                beta_i ~ ln(cn)/2^i, targeting diameter O(2^i log n);
+//   level 0:     singletons.
+//
+// Tree distances DOMINATE graph distances by construction: the edge from
+// a child to its parent weighs half the parent cluster's measured strong
+// diameter (>= 1/2), so d_T(u, v) >= diam(smallest common cluster)
+// >= d_G(u, v). The interesting quantity is the expected stretch
+// E[d_T / d_G], which Bartal-style analyses bound by O(log^2 n) — bench
+// E13 measures its empirical shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct HstOptions {
+  /// Failure parameter feeding beta_i = ln(c*n)/2^i (clamped to >= 1e-6).
+  double c = 4.0;
+  std::uint64_t seed = 1;
+};
+
+class HstTree {
+ public:
+  /// Tree distance between two vertices; infinity (-1) across components.
+  double distance(VertexId u, VertexId v) const;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(leaf_of_.size());
+  }
+  std::int32_t num_nodes() const {
+    return static_cast<std::int32_t>(parent_.size());
+  }
+  std::int32_t num_levels() const { return num_levels_; }
+
+  std::int32_t parent(std::int32_t node) const { return parent_.at(
+      static_cast<std::size_t>(node)); }
+  double edge_weight(std::int32_t node) const { return weight_.at(
+      static_cast<std::size_t>(node)); }
+  std::int32_t leaf_of(VertexId v) const { return leaf_of_.at(
+      static_cast<std::size_t>(v)); }
+
+ private:
+  friend HstTree build_hst(const Graph& g, const HstOptions& options);
+
+  std::vector<std::int32_t> parent_;  // -1 at roots
+  std::vector<double> weight_;        // edge to parent
+  std::vector<std::int32_t> leaf_of_;
+  std::int32_t num_levels_ = 0;
+};
+
+HstTree build_hst(const Graph& g, const HstOptions& options);
+
+struct StretchReport {
+  double mean = 0.0;
+  double max = 0.0;
+  /// Sampled over up to `pairs` random connected vertex pairs.
+  std::int64_t pairs = 0;
+  /// True iff d_T >= d_G held for every sampled pair (must always hold).
+  bool dominating = true;
+};
+
+/// Samples vertex pairs and reports d_T / d_G statistics.
+StretchReport measure_hst_stretch(const Graph& g, const HstTree& tree,
+                                  std::int64_t pairs, std::uint64_t seed);
+
+}  // namespace dsnd

@@ -1,0 +1,40 @@
+// The Linial–Saks (1993) randomized decomposition — the baseline the
+// paper improves on. Produces a weak (2k-2, O(n^{1/k} log n)) network
+// decomposition: per phase, every live vertex samples a truncated
+// geometric radius r_v (Pr[r >= j] = p^j with p = n^{-1/k}, capped at
+// k-1) and broadcasts (id, r_v) through the surviving graph; a vertex y
+// joins the cluster of the minimum-id vertex v whose broadcast reached it
+// (d_{G_t}(y, v) <= r_v), and is retained in the phase's block only if
+// the inequality is strict (d < r_v).
+//
+// Clusters of one phase are pairwise non-adjacent (same argument as the
+// paper's: an edge between two same-phase clusters would force both
+// centers to reach both endpoints, contradicting min-id choice), so phase
+// = color is a proper supergraph coloring. Crucially the guarantee is
+// only on the WEAK diameter: a cluster need not be connected in its
+// induced subgraph, and its strong diameter can be unbounded — the gap
+// that motivates the paper, measured head-to-head in bench E5.
+#pragma once
+
+#include <cstdint>
+
+#include "decomposition/elkin_neiman.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct LinialSaksOptions {
+  std::int32_t k = 0;  // 0 = ceil(ln n); radius cap is k-1
+  std::uint64_t seed = 1;
+};
+
+/// The LS93 radius distribution parameter p = n^{-1/k}.
+double linial_saks_p(VertexId n, std::int32_t k);
+
+/// Runs phases until the graph is exhausted. bounds.strong_diameter is
+/// set to the WEAK diameter bound 2k-2 (that is all LS93 promises).
+DecompositionRun linial_saks_decomposition(const Graph& g,
+                                           const LinialSaksOptions& options);
+
+}  // namespace dsnd

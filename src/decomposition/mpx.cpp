@@ -1,0 +1,92 @@
+#include "decomposition/mpx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+MpxResult mpx_partition(const Graph& g, const MpxOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DSND_REQUIRE(options.beta > 0.0, "beta must be positive");
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  std::vector<double> shift(n);
+  MpxResult result;
+  for (std::size_t v = 0; v < n; ++v) {
+    Xoshiro256ss rng(stream_seed(options.seed, 0x6d7078ULL,
+                                 static_cast<std::uint64_t>(v) + 1));
+    shift[v] = sample_exponential(rng, options.beta);
+    result.max_shift = std::max(result.max_shift, shift[v]);
+  }
+
+  // Shifted multi-source Dijkstra: every vertex starts as its own source
+  // with key -delta_v; settling order by (key, center) makes the argmax
+  // assignment exact and the tie-break deterministic. Unit edge weights
+  // keep keys monotone, so the standard lazy-deletion queue is exact.
+  std::vector<double> key(n, 0.0);
+  std::vector<VertexId> center(n);
+  std::vector<char> settled(n, 0);
+  using QueueItem = std::tuple<double, VertexId, VertexId>;  // key, center, v
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    key[v] = -shift[v];
+    center[v] = static_cast<VertexId>(v);
+    queue.push({key[v], center[v], static_cast<VertexId>(v)});
+  }
+  while (!queue.empty()) {
+    const auto [d, c, v] = queue.top();
+    queue.pop();
+    const auto vi = static_cast<std::size_t>(v);
+    if (settled[vi]) continue;
+    // Lazy deletion: skip stale entries that lost to a better relaxation.
+    if (d != key[vi] || c != center[vi]) continue;
+    settled[vi] = 1;
+    for (VertexId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (settled[wi]) continue;
+      const double candidate = d + 1.0;
+      if (candidate < key[wi] ||
+          (candidate == key[wi] && c < center[wi])) {
+        key[wi] = candidate;
+        center[wi] = c;
+        queue.push({candidate, c, w});
+      }
+    }
+  }
+
+  // Group by center into clusters (deterministic id order).
+  result.clustering = Clustering(g.num_vertices());
+  std::vector<ClusterId> cluster_of_center(n, kNoCluster);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto ci = static_cast<std::size_t>(center[v]);
+    if (cluster_of_center[ci] == kNoCluster) {
+      cluster_of_center[ci] =
+          result.clustering.add_cluster(center[v], /*color=*/0);
+    }
+    result.clustering.assign(static_cast<VertexId>(v),
+                             cluster_of_center[ci]);
+  }
+
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (result.clustering.cluster_of(u) != result.clustering.cluster_of(v)) {
+      ++result.cut_edges;
+    }
+  });
+  result.cut_fraction =
+      g.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(result.cut_edges) /
+                static_cast<double>(g.num_edges());
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,34 @@
+// The Miller–Peng–Xu (SPAA'13) padded partition — the PRAM technique the
+// paper adapts. One-shot partition (no phases/colors): every vertex u
+// samples delta_u ~ EXP(beta) and each vertex y joins the cluster of
+//   argmax_u { delta_u - d(u, y) },
+// computed here as an exact shifted multi-source Dijkstra. Guarantees
+// (verified by bench E6 / the property tests): clusters are connected
+// with strong diameter O(log n / beta) w.h.p., and each edge is cut
+// (endpoints in different clusters) with probability O(beta).
+#pragma once
+
+#include <cstdint>
+
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct MpxOptions {
+  double beta = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct MpxResult {
+  /// All clusters carry color 0: MPX yields a partition, not a colored
+  /// decomposition. Use the decomposition validators' shape queries only.
+  Clustering clustering;
+  std::int64_t cut_edges = 0;
+  double cut_fraction = 0.0;
+  double max_shift = 0.0;  // largest sampled delta_u
+};
+
+MpxResult mpx_partition(const Graph& g, const MpxOptions& options);
+
+}  // namespace dsnd

@@ -1,0 +1,58 @@
+#include "decomposition/multistage.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+std::vector<double> multistage_beta_schedule(VertexId n, std::int32_t k,
+                                             double c) {
+  DSND_REQUIRE(n >= 1, "graph must be nonempty");
+  DSND_REQUIRE(k >= 1, "k must be positive");
+  DSND_REQUIRE(c > 1.0, "c must exceed 1 so every stage keeps beta > 0");
+  const double cn = c * static_cast<double>(n);
+  const auto stages = static_cast<std::int32_t>(
+      std::floor(std::log(std::max<VertexId>(n, 2))));
+  std::vector<double> betas;
+  for (std::int32_t i = 0; i <= stages; ++i) {
+    // Stage i: s_i phases with beta_i = ln(cn/e^i)/k = (ln(cn) - i)/k.
+    const double stage_cn = cn / std::exp(static_cast<double>(i));
+    const double beta = std::log(stage_cn) / static_cast<double>(k);
+    DSND_CHECK(beta > 0.0, "stage beta must stay positive");
+    const auto phases = static_cast<std::int32_t>(std::ceil(
+        2.0 * std::pow(stage_cn, 1.0 / static_cast<double>(k))));
+    for (std::int32_t t = 0; t < phases; ++t) betas.push_back(beta);
+  }
+  return betas;
+}
+
+DecompositionRun multistage_decomposition(const Graph& g,
+                                          const MultistageOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  const VertexId n = g.num_vertices();
+  const std::int32_t k = resolve_k(n, options.k);
+  const double cn = options.c * static_cast<double>(n);
+
+  CarveParams params;
+  params.betas = multistage_beta_schedule(n, k, options.c);
+  params.phase_rounds = k;
+  params.margin = 1.0;
+  params.radius_overflow_at = static_cast<double>(k) + 1.0;
+  params.run_to_completion = options.run_to_completion;
+  params.seed = options.seed;
+
+  DecompositionRun run;
+  run.carve = carve_decomposition(g, params);
+  run.k = static_cast<double>(k);
+  run.c = options.c;
+  run.bounds.strong_diameter = 2.0 * k - 2.0;
+  run.bounds.colors =
+      4.0 * k * std::pow(cn, 1.0 / static_cast<double>(k));
+  // Rounds: (k+1) simulated rounds per phase over at most `colors` phases.
+  run.bounds.rounds = (static_cast<double>(k) + 1.0) * run.bounds.colors;
+  run.bounds.success_probability = 1.0 - 5.0 / options.c;
+  return run;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,35 @@
+// Theorem 2 of the paper (Section 2.1, "Improved Number of Blocks"):
+// for 1 <= k <= ln n and c > 5, a strong (2k-2, 4k(cn)^{1/k}) network
+// decomposition in O(k^2 (cn)^{1/k}) rounds with probability >= 1 - 5/c.
+//
+// Identical carving machinery, but the exponential parameter decays over
+// stages: stage i runs s_i = ceil(2 (cn/e^i)^{1/k}) phases with
+// beta_i = ln(cn/e^i)/k, for i = 0..floor(ln n). Smaller beta raises the
+// per-phase join probability, so later (sparser) stages finish in fewer
+// phases and the total color count drops from (cn)^{1/k} ln(cn) to
+// 4k (cn)^{1/k}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomposition/elkin_neiman.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct MultistageOptions {
+  std::int32_t k = 0;  // 0 = ceil(ln n)
+  double c = 6.0;      // success probability 1 - 5/c
+  std::uint64_t seed = 1;
+  bool run_to_completion = true;
+};
+
+/// The per-phase beta schedule of Theorem 2 (one entry per phase).
+std::vector<double> multistage_beta_schedule(VertexId n, std::int32_t k,
+                                             double c);
+
+DecompositionRun multistage_decomposition(const Graph& g,
+                                          const MultistageOptions& options);
+
+}  // namespace dsnd

@@ -1,0 +1,72 @@
+#include "decomposition/padding.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+std::vector<std::int32_t> padding_distances(const Graph& g,
+                                            const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  DSND_REQUIRE(clustering.is_complete(),
+               "padding requires a complete partition");
+  // Boundary vertices: an edge to a different cluster.
+  std::vector<VertexId> boundary;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (clustering.cluster_of(w) != clustering.cluster_of(v)) {
+        boundary.push_back(v);
+        break;
+      }
+    }
+  }
+  const auto dist_to_boundary = multi_source_bfs(g, boundary);
+  std::vector<std::int32_t> pad(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::int32_t d = dist_to_boundary[static_cast<std::size_t>(v)];
+    pad[static_cast<std::size_t>(v)] =
+        d == kUnreachable ? kInfinitePadding : d + 1;
+  }
+  return pad;
+}
+
+PaddingReport analyze_padding(const Graph& g, const Clustering& clustering) {
+  const auto pad = padding_distances(g, clustering);
+  PaddingReport report;
+  std::int64_t total = 0;
+  VertexId finite = 0;
+  report.min = std::numeric_limits<std::int32_t>::max();
+  for (const std::int32_t p : pad) {
+    if (p == kInfinitePadding) {
+      ++report.infinite_count;
+      continue;
+    }
+    ++finite;
+    total += p;
+    report.min = std::min(report.min, p);
+    report.max = std::max(report.max, p);
+  }
+  if (finite == 0) {
+    report.min = 0;
+    return report;
+  }
+  report.mean = static_cast<double>(total) / static_cast<double>(finite);
+  report.survival.assign(static_cast<std::size_t>(report.max), 0.0);
+  for (const std::int32_t p : pad) {
+    const std::int32_t effective =
+        p == kInfinitePadding ? report.max : p;
+    for (std::int32_t t = 1; t <= effective; ++t) {
+      report.survival[static_cast<std::size_t>(t - 1)] += 1.0;
+    }
+  }
+  for (double& s : report.survival) {
+    s /= static_cast<double>(g.num_vertices());
+  }
+  return report;
+}
+
+}  // namespace dsnd

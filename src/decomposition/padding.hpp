@@ -1,0 +1,44 @@
+// Padding analysis: how deep inside its cluster does each vertex sit?
+//
+//   pad(v) = min { d_G(v, u) : u in a different cluster }.
+//
+// Padded partitions are where the paper's core technique comes from
+// (Miller–Peng–Xu built them; Elkin–Neiman turned them into strong
+// network decompositions). The MPX guarantee is that pad(v) >= t with
+// probability >= 1 - O(beta * t) for each vertex — verified in bench E6
+// and the property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Marker: vertex's component is entirely inside one cluster (no outside
+/// vertex reachable), i.e. padding is infinite.
+inline constexpr std::int32_t kInfinitePadding = -1;
+
+/// Per-vertex padding distances. Requires a complete partition.
+///
+/// Implementation note: pad(v) = 1 + d(v, B) where B is the set of
+/// boundary vertices (those with an edge into another cluster); the
+/// nearest outside vertex is always reached through a boundary vertex of
+/// one's own cluster, or is itself adjacent (pad = 1).
+std::vector<std::int32_t> padding_distances(const Graph& g,
+                                            const Clustering& clustering);
+
+struct PaddingReport {
+  double mean = 0.0;
+  std::int32_t min = 0;
+  std::int32_t max = 0;  // finite max; kInfinitePadding entries excluded
+  /// fraction of vertices with pad(v) >= t for t = 1, 2, ... (index t-1).
+  std::vector<double> survival;
+  VertexId infinite_count = 0;
+};
+
+PaddingReport analyze_padding(const Graph& g, const Clustering& clustering);
+
+}  // namespace dsnd

@@ -1,0 +1,83 @@
+#include "decomposition/partition.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+Clustering::Clustering(VertexId num_vertices)
+    : cluster_of_(static_cast<std::size_t>(num_vertices), kNoCluster) {
+  DSND_REQUIRE(num_vertices >= 0, "vertex count must be nonnegative");
+}
+
+std::int32_t Clustering::num_colors() const {
+  std::int32_t max_color = -1;
+  for (std::int32_t color : colors_) max_color = std::max(max_color, color);
+  return max_color + 1;
+}
+
+ClusterId Clustering::add_cluster(VertexId center, std::int32_t color) {
+  DSND_REQUIRE(center >= 0 && center < num_vertices(),
+               "cluster center out of range");
+  DSND_REQUIRE(color >= 0, "cluster color must be nonnegative");
+  centers_.push_back(center);
+  colors_.push_back(color);
+  return static_cast<ClusterId>(centers_.size() - 1);
+}
+
+void Clustering::assign(VertexId v, ClusterId c) {
+  DSND_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  DSND_REQUIRE(c >= 0 && c < num_clusters(), "cluster out of range");
+  DSND_REQUIRE(cluster_of_[static_cast<std::size_t>(v)] == kNoCluster,
+               "vertex already assigned to a cluster");
+  cluster_of_[static_cast<std::size_t>(v)] = c;
+}
+
+ClusterId Clustering::cluster_of(VertexId v) const {
+  DSND_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return cluster_of_[static_cast<std::size_t>(v)];
+}
+
+VertexId Clustering::center_of(ClusterId c) const {
+  DSND_REQUIRE(c >= 0 && c < num_clusters(), "cluster out of range");
+  return centers_[static_cast<std::size_t>(c)];
+}
+
+std::int32_t Clustering::color_of(ClusterId c) const {
+  DSND_REQUIRE(c >= 0 && c < num_clusters(), "cluster out of range");
+  return colors_[static_cast<std::size_t>(c)];
+}
+
+bool Clustering::is_complete() const {
+  return std::none_of(cluster_of_.begin(), cluster_of_.end(),
+                      [](ClusterId c) { return c == kNoCluster; });
+}
+
+VertexId Clustering::num_unassigned() const {
+  return static_cast<VertexId>(
+      std::count(cluster_of_.begin(), cluster_of_.end(), kNoCluster));
+}
+
+std::vector<std::vector<VertexId>> Clustering::members() const {
+  std::vector<std::vector<VertexId>> result(
+      static_cast<std::size_t>(num_clusters()));
+  for (std::size_t v = 0; v < cluster_of_.size(); ++v) {
+    const ClusterId c = cluster_of_[v];
+    if (c != kNoCluster) {
+      result[static_cast<std::size_t>(c)].push_back(
+          static_cast<VertexId>(v));
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> Clustering::cluster_sizes() const {
+  std::vector<VertexId> sizes(static_cast<std::size_t>(num_clusters()), 0);
+  for (const ClusterId c : cluster_of_) {
+    if (c != kNoCluster) ++sizes[static_cast<std::size_t>(c)];
+  }
+  return sizes;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,61 @@
+// Clustering / network decomposition data structures.
+//
+// A (D, chi) network decomposition is a partition of V into clusters; each
+// cluster carries a color (its carving phase) such that same-colored
+// clusters are non-adjacent, and each cluster has (strong or weak)
+// diameter at most D. Clustering stores the partition plus per-cluster
+// color and center; DecompositionResult adds the cost accounting the
+// theorems bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+using ClusterId = std::int32_t;
+inline constexpr ClusterId kNoCluster = -1;
+
+class Clustering {
+ public:
+  Clustering() = default;
+  explicit Clustering(VertexId num_vertices);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(cluster_of_.size());
+  }
+  ClusterId num_clusters() const {
+    return static_cast<ClusterId>(centers_.size());
+  }
+  /// Number of distinct colors (= max color + 1; colors are dense).
+  std::int32_t num_colors() const;
+
+  /// Creates a cluster and returns its id.
+  ClusterId add_cluster(VertexId center, std::int32_t color);
+
+  /// Assigns vertex v to cluster c; v must be unassigned.
+  void assign(VertexId v, ClusterId c);
+
+  ClusterId cluster_of(VertexId v) const;
+  VertexId center_of(ClusterId c) const;
+  std::int32_t color_of(ClusterId c) const;
+
+  /// True when every vertex belongs to some cluster (a full partition).
+  bool is_complete() const;
+  /// Number of vertices with no cluster.
+  VertexId num_unassigned() const;
+
+  /// Member lists indexed by cluster id.
+  std::vector<std::vector<VertexId>> members() const;
+  /// Sizes indexed by cluster id.
+  std::vector<VertexId> cluster_sizes() const;
+
+ private:
+  std::vector<ClusterId> cluster_of_;
+  std::vector<VertexId> centers_;
+  std::vector<std::int32_t> colors_;
+};
+
+}  // namespace dsnd

@@ -1,0 +1,67 @@
+#include "decomposition/supergraph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+Graph build_supergraph(const Graph& g, const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  DSND_REQUIRE(clustering.is_complete(),
+               "supergraph requires a complete partition");
+  std::vector<Edge> edges;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    const ClusterId cu = clustering.cluster_of(u);
+    const ClusterId cv = clustering.cluster_of(v);
+    if (cu != cv) {
+      edges.push_back({std::min(cu, cv), std::max(cu, cv)});
+    }
+  });
+  return Graph::from_edges(clustering.num_clusters(), std::move(edges),
+                           /*normalize=*/true);
+}
+
+bool phase_coloring_is_proper(const Graph& g, const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  bool proper = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    const ClusterId cu = clustering.cluster_of(u);
+    const ClusterId cv = clustering.cluster_of(v);
+    if (cu == kNoCluster || cv == kNoCluster || cu == cv) return;
+    if (clustering.color_of(cu) == clustering.color_of(cv)) proper = false;
+  });
+  return proper;
+}
+
+std::vector<std::int32_t> greedy_coloring(const Graph& g) {
+  std::vector<std::int32_t> color(static_cast<std::size_t>(g.num_vertices()),
+                                  -1);
+  std::vector<char> used;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    used.assign(static_cast<std::size_t>(g.degree(v)) + 2, 0);
+    for (VertexId w : g.neighbors(v)) {
+      const std::int32_t cw = color[static_cast<std::size_t>(w)];
+      if (cw >= 0 && cw < static_cast<std::int32_t>(used.size())) {
+        used[static_cast<std::size_t>(cw)] = 1;
+      }
+    }
+    std::int32_t c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+  }
+  return color;
+}
+
+std::int32_t greedy_supergraph_colors(const Graph& g,
+                                      const Clustering& clustering) {
+  const Graph supergraph = build_supergraph(g, clustering);
+  const auto colors = greedy_coloring(supergraph);
+  std::int32_t max_color = -1;
+  for (std::int32_t c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,153 @@
+#include "decomposition/validation.hpp"
+
+#include <algorithm>
+
+#include "decomposition/supergraph.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+ClusterShape analyze_cluster(const Graph& g,
+                             std::span<const VertexId> members,
+                             VertexId center) {
+  DSND_REQUIRE(!members.empty(), "cluster must be nonempty");
+  ClusterShape shape;
+  shape.size = static_cast<VertexId>(members.size());
+
+  const InducedSubgraph sub = induced_subgraph(g, members);
+  shape.connected = is_connected(sub.graph);
+
+  // Strong diameter and center radius inside the induced subgraph.
+  shape.strong_diameter = 0;
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+    const auto dist = bfs_distances(sub.graph, v);
+    for (const std::int32_t d : dist) {
+      if (d == kUnreachable) {
+        shape.strong_diameter = kInfiniteDiameter;
+      } else if (shape.strong_diameter != kInfiniteDiameter) {
+        shape.strong_diameter = std::max(shape.strong_diameter, d);
+      }
+    }
+  }
+
+  VertexId center_sub = -1;
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+    if (sub.parent_of(v) == center) center_sub = v;
+  }
+  if (center_sub == -1) {
+    // Center not a member — possible only in truncated/overflow runs.
+    shape.radius_from_center = kInfiniteDiameter;
+  } else {
+    shape.radius_from_center = 0;
+    for (const std::int32_t d : bfs_distances(sub.graph, center_sub)) {
+      if (d == kUnreachable) {
+        shape.radius_from_center = kInfiniteDiameter;
+        break;
+      }
+      shape.radius_from_center = std::max(shape.radius_from_center, d);
+    }
+  }
+
+  // Weak diameter: distances in the whole graph between member pairs.
+  shape.weak_diameter = 0;
+  for (const VertexId v : members) {
+    const auto dist = bfs_distances(g, v);
+    for (const VertexId w : members) {
+      const std::int32_t d = dist[static_cast<std::size_t>(w)];
+      if (d == kUnreachable) {
+        shape.weak_diameter = kInfiniteDiameter;
+        break;
+      }
+      if (shape.weak_diameter != kInfiniteDiameter) {
+        shape.weak_diameter = std::max(shape.weak_diameter, d);
+      }
+    }
+    if (shape.weak_diameter == kInfiniteDiameter) break;
+  }
+  return shape;
+}
+
+namespace {
+
+/// Folds a per-cluster diameter into a running maximum where
+/// kInfiniteDiameter is absorbing.
+void fold_max(std::int32_t& acc, std::int32_t value) {
+  if (acc == kInfiniteDiameter || value == kInfiniteDiameter) {
+    acc = kInfiniteDiameter;
+  } else {
+    acc = std::max(acc, value);
+  }
+}
+
+}  // namespace
+
+bool DecompositionReport::is_strong_decomposition(
+    std::int32_t diameter_bound, std::int32_t color_bound) const {
+  return complete && proper_phase_coloring && all_clusters_connected &&
+         max_strong_diameter != kInfiniteDiameter &&
+         max_strong_diameter <= diameter_bound && num_colors <= color_bound;
+}
+
+bool DecompositionReport::is_weak_decomposition(std::int32_t diameter_bound,
+                                                std::int32_t color_bound)
+    const {
+  return complete && proper_phase_coloring &&
+         max_weak_diameter != kInfiniteDiameter &&
+         max_weak_diameter <= diameter_bound && num_colors <= color_bound;
+}
+
+DecompositionReport validate_decomposition(const Graph& g,
+                                           const Clustering& clustering,
+                                           bool compute_weak) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  DecompositionReport report;
+  report.complete = clustering.is_complete();
+  report.proper_phase_coloring = phase_coloring_is_proper(g, clustering);
+  report.num_clusters = clustering.num_clusters();
+  report.num_colors = clustering.num_colors();
+
+  const auto members = clustering.members();
+  std::int64_t total_size = 0;
+  for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
+    const auto& cluster = members[static_cast<std::size_t>(c)];
+    DSND_CHECK(!cluster.empty(), "empty cluster in clustering");
+    total_size += static_cast<std::int64_t>(cluster.size());
+    report.max_cluster_size =
+        std::max(report.max_cluster_size,
+                 static_cast<VertexId>(cluster.size()));
+
+    ClusterShape shape;
+    if (compute_weak) {
+      shape = analyze_cluster(g, cluster, clustering.center_of(c));
+    } else {
+      // Strong-only analysis: reuse analyze_cluster but skip the O(n*m)
+      // weak sweep by restricting members to the induced graph.
+      const InducedSubgraph sub = induced_subgraph(g, cluster);
+      shape.size = static_cast<VertexId>(cluster.size());
+      shape.connected = is_connected(sub.graph);
+      shape.strong_diameter =
+          shape.connected ? exact_diameter(sub.graph) : kInfiniteDiameter;
+      shape.weak_diameter = 0;
+      shape.radius_from_center = 0;
+    }
+
+    if (!shape.connected) ++report.disconnected_clusters;
+    fold_max(report.max_strong_diameter, shape.strong_diameter);
+    if (compute_weak) {
+      fold_max(report.max_weak_diameter, shape.weak_diameter);
+      fold_max(report.max_radius_from_center, shape.radius_from_center);
+    }
+  }
+  report.all_clusters_connected = report.disconnected_clusters == 0;
+  report.avg_cluster_size =
+      clustering.num_clusters() == 0
+          ? 0.0
+          : static_cast<double>(total_size) /
+                static_cast<double>(clustering.num_clusters());
+  return report;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,67 @@
+// Brute-force honest validators for network decompositions. These are the
+// ground truth the tests and benches assert against: strong diameter by
+// per-cluster BFS inside the induced subgraph, weak diameter by BFS in
+// the whole graph, supergraph coloring edge-by-edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Marker for "infinite" diameter (disconnected cluster).
+inline constexpr std::int32_t kInfiniteDiameter = -1;
+
+struct ClusterShape {
+  VertexId size = 0;
+  bool connected = false;
+  /// Diameter of the induced subgraph G(C); kInfiniteDiameter if C is
+  /// disconnected in G(C).
+  std::int32_t strong_diameter = 0;
+  /// max_{u,v in C} d_G(u, v) — finite whenever C lies in one component
+  /// of G; kInfiniteDiameter otherwise.
+  std::int32_t weak_diameter = 0;
+  /// Largest induced-subgraph distance from the cluster's center to a
+  /// member; kInfiniteDiameter if some member is unreachable (or the
+  /// center is outside the cluster, which Claim 3 forbids).
+  std::int32_t radius_from_center = 0;
+};
+
+ClusterShape analyze_cluster(const Graph& g,
+                             std::span<const VertexId> members,
+                             VertexId center);
+
+struct DecompositionReport {
+  bool complete = false;               // every vertex clustered
+  bool proper_phase_coloring = false;  // per-cluster colors proper on G(P)
+  std::int32_t num_clusters = 0;
+  std::int32_t num_colors = 0;
+  std::int32_t disconnected_clusters = 0;
+  bool all_clusters_connected = false;
+  /// Max over clusters; kInfiniteDiameter if any cluster is disconnected.
+  std::int32_t max_strong_diameter = 0;
+  std::int32_t max_weak_diameter = 0;
+  std::int32_t max_radius_from_center = 0;
+  double avg_cluster_size = 0.0;
+  VertexId max_cluster_size = 0;
+
+  /// True when this is a valid strong (diameter_bound, color_bound)
+  /// network decomposition.
+  bool is_strong_decomposition(std::int32_t diameter_bound,
+                               std::int32_t color_bound) const;
+  /// Same with the weak-diameter notion.
+  bool is_weak_decomposition(std::int32_t diameter_bound,
+                             std::int32_t color_bound) const;
+};
+
+/// Full validation pass. compute_weak toggles the O(n*m) weak-diameter
+/// sweep (the strong sweep is cheap because clusters are small).
+DecompositionReport validate_decomposition(const Graph& g,
+                                           const Clustering& clustering,
+                                           bool compute_weak = true);
+
+}  // namespace dsnd

@@ -1,0 +1,433 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+Graph make_path(VertexId n) {
+  DSND_REQUIRE(n >= 1, "path needs at least one vertex");
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+Graph make_cycle(VertexId n) {
+  DSND_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return std::move(builder).build();
+}
+
+Graph make_grid2d(VertexId rows, VertexId cols) {
+  DSND_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_torus2d(VertexId rows, VertexId cols) {
+  DSND_REQUIRE(rows >= 3 && cols >= 3, "torus dimensions must be >= 3");
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      builder.add_edge(id(r, c), id(r, (c + 1) % cols));
+      builder.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_grid3d(VertexId x, VertexId y, VertexId z) {
+  DSND_REQUIRE(x >= 1 && y >= 1 && z >= 1, "grid dimensions must be positive");
+  GraphBuilder builder(x * y * z);
+  auto id = [y, z](VertexId a, VertexId b, VertexId c) {
+    return (a * y + b) * z + c;
+  };
+  for (VertexId a = 0; a < x; ++a) {
+    for (VertexId b = 0; b < y; ++b) {
+      for (VertexId c = 0; c < z; ++c) {
+        if (a + 1 < x) builder.add_edge(id(a, b, c), id(a + 1, b, c));
+        if (b + 1 < y) builder.add_edge(id(a, b, c), id(a, b + 1, c));
+        if (c + 1 < z) builder.add_edge(id(a, b, c), id(a, b, c + 1));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_complete(VertexId n) {
+  DSND_REQUIRE(n >= 1, "complete graph needs at least one vertex");
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+Graph make_star(VertexId n) {
+  DSND_REQUIRE(n >= 1, "star needs at least one vertex");
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+Graph make_complete_bipartite(VertexId a, VertexId b) {
+  DSND_REQUIRE(a >= 1 && b >= 1, "bipartite sides must be nonempty");
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  }
+  return std::move(builder).build();
+}
+
+Graph make_balanced_tree(VertexId branching, VertexId height) {
+  DSND_REQUIRE(branching >= 1, "branching factor must be positive");
+  DSND_REQUIRE(height >= 0, "height must be nonnegative");
+  // Number of vertices: 1 + b + b^2 + ... + b^height.
+  std::int64_t n = 0;
+  std::int64_t layer = 1;
+  for (VertexId h = 0; h <= height; ++h) {
+    n += layer;
+    layer *= branching;
+    DSND_REQUIRE(n < (1LL << 31), "balanced tree too large");
+  }
+  GraphBuilder builder(static_cast<VertexId>(n));
+  for (VertexId v = 1; v < static_cast<VertexId>(n); ++v) {
+    builder.add_edge(v, (v - 1) / branching);
+  }
+  return std::move(builder).build();
+}
+
+Graph make_hypercube(int dim) {
+  DSND_REQUIRE(dim >= 0 && dim <= 24, "hypercube dimension out of range");
+  const VertexId n = static_cast<VertexId>(1) << dim;
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const VertexId w = v ^ (static_cast<VertexId>(1) << bit);
+      if (v < w) builder.add_edge(v, w);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_ring_of_cliques(VertexId num_cliques, VertexId clique_size) {
+  DSND_REQUIRE(num_cliques >= 3, "ring needs at least three cliques");
+  DSND_REQUIRE(clique_size >= 1, "clique size must be positive");
+  GraphBuilder builder(num_cliques * clique_size);
+  auto id = [clique_size](VertexId clique, VertexId member) {
+    return clique * clique_size + member;
+  };
+  for (VertexId q = 0; q < num_cliques; ++q) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        builder.add_edge(id(q, i), id(q, j));
+      }
+    }
+    builder.add_edge(id(q, clique_size - 1), id((q + 1) % num_cliques, 0));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_barbell(VertexId clique_size, VertexId path_len) {
+  DSND_REQUIRE(clique_size >= 2, "barbell cliques need >= 2 vertices");
+  DSND_REQUIRE(path_len >= 1, "barbell path needs >= 1 edge");
+  const VertexId n = 2 * clique_size + (path_len - 1);
+  GraphBuilder builder(n);
+  for (VertexId i = 0; i < clique_size; ++i) {
+    for (VertexId j = i + 1; j < clique_size; ++j) {
+      builder.add_edge(i, j);
+      builder.add_edge(clique_size + (path_len - 1) + i,
+                       clique_size + (path_len - 1) + j);
+    }
+  }
+  // Path from vertex clique_size-1 through the middle vertices to the
+  // first vertex of the second clique.
+  VertexId prev = clique_size - 1;
+  for (VertexId s = 0; s < path_len - 1; ++s) {
+    builder.add_edge(prev, clique_size + s);
+    prev = clique_size + s;
+  }
+  builder.add_edge(prev, clique_size + (path_len - 1));
+  return std::move(builder).build();
+}
+
+Graph make_lollipop(VertexId clique_size, VertexId path_len) {
+  DSND_REQUIRE(clique_size >= 2, "lollipop clique needs >= 2 vertices");
+  DSND_REQUIRE(path_len >= 1, "lollipop path needs >= 1 edge");
+  GraphBuilder builder(clique_size + path_len);
+  for (VertexId i = 0; i < clique_size; ++i) {
+    for (VertexId j = i + 1; j < clique_size; ++j) builder.add_edge(i, j);
+  }
+  VertexId prev = clique_size - 1;
+  for (VertexId s = 0; s < path_len; ++s) {
+    builder.add_edge(prev, clique_size + s);
+    prev = clique_size + s;
+  }
+  return std::move(builder).build();
+}
+
+Graph make_gnp(VertexId n, double p, std::uint64_t seed) {
+  DSND_REQUIRE(n >= 1, "G(n,p) needs at least one vertex");
+  DSND_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  Xoshiro256ss rng(stream_seed(seed, 0x676e70ULL, static_cast<std::uint64_t>(n)));
+  GraphBuilder builder(n);
+  if (p == 0.0) return std::move(builder).build();
+  if (p == 1.0) return make_complete(n);
+  // Skip-sampling (Batagelj–Brandes): geometric jumps over non-edges makes
+  // sparse generation O(n + m) instead of O(n^2).
+  const double log_q = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < n) {
+    const double u = uniform_unit(rng);
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-u) / log_q));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n) {
+      builder.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_gnm(VertexId n, std::int64_t m, std::uint64_t seed) {
+  DSND_REQUIRE(n >= 1, "G(n,m) needs at least one vertex");
+  const std::int64_t max_edges =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  DSND_REQUIRE(m >= 0 && m <= max_edges, "edge count out of range");
+  Xoshiro256ss rng(stream_seed(seed, 0x676e6dULL, static_cast<std::uint64_t>(n)));
+  std::set<Edge> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < m) {
+    auto u = static_cast<VertexId>(
+        uniform_below(rng, static_cast<std::uint64_t>(n)));
+    auto v = static_cast<VertexId>(
+        uniform_below(rng, static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.insert({u, v});
+  }
+  GraphBuilder builder(n);
+  for (const Edge& e : chosen) builder.add_edge(e.u, e.v);
+  return std::move(builder).build();
+}
+
+Graph make_random_tree(VertexId n, std::uint64_t seed) {
+  DSND_REQUIRE(n >= 1, "tree needs at least one vertex");
+  Xoshiro256ss rng(stream_seed(seed, 0x74726565ULL,
+                               static_cast<std::uint64_t>(n)));
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(
+        uniform_below(rng, static_cast<std::uint64_t>(v)));
+    builder.add_edge(v, parent);
+  }
+  return std::move(builder).build();
+}
+
+Graph make_random_regular(VertexId n, VertexId d, std::uint64_t seed) {
+  DSND_REQUIRE(n >= 1 && d >= 0 && d < n, "need 0 <= d < n");
+  DSND_REQUIRE((static_cast<std::int64_t>(n) * d) % 2 == 0,
+               "n*d must be even for a d-regular graph");
+  Xoshiro256ss rng(stream_seed(seed, 0x72656775ULL,
+                               static_cast<std::uint64_t>(n)));
+  // Pairing model: stubs = d copies of each vertex, shuffle, pair up; retry
+  // on self-loops or duplicates. Retry count is O(1) expected for d << n.
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    stubs.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    // Fisher–Yates shuffle with our deterministic generator.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const std::size_t j = uniform_below(rng, i);
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    std::set<Edge> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId u = stubs[i];
+      VertexId v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!edges.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    GraphBuilder builder(n);
+    for (const Edge& e : edges) builder.add_edge(e.u, e.v);
+    return std::move(builder).build();
+  }
+  DSND_CHECK(false, "random regular pairing failed to converge");
+}
+
+Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
+                          std::uint64_t seed) {
+  DSND_REQUIRE(n >= 3, "small world needs at least three vertices");
+  DSND_REQUIRE(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+  DSND_REQUIRE(beta >= 0.0 && beta <= 1.0, "rewire probability in [0, 1]");
+  Xoshiro256ss rng(stream_seed(seed, 0x7773ULL, static_cast<std::uint64_t>(n)));
+  std::set<Edge> edges;
+  auto canonical = [](VertexId u, VertexId v) {
+    return u < v ? Edge{u, v} : Edge{v, u};
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId j = 1; j <= k; ++j) {
+      edges.insert(canonical(v, (v + j) % n));
+    }
+  }
+  // Rewire each lattice edge's far endpoint with probability beta.
+  std::vector<Edge> lattice(edges.begin(), edges.end());
+  for (const Edge& e : lattice) {
+    if (uniform_unit(rng) >= beta) continue;
+    edges.erase(e);
+    // Pick a new partner for e.u avoiding self-loops and duplicates; fall
+    // back to keeping the edge if the vertex is saturated.
+    bool rewired = false;
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto w = static_cast<VertexId>(
+          uniform_below(rng, static_cast<std::uint64_t>(n)));
+      if (w == e.u) continue;
+      const Edge candidate = canonical(e.u, w);
+      if (edges.contains(candidate)) continue;
+      edges.insert(candidate);
+      rewired = true;
+      break;
+    }
+    if (!rewired) edges.insert(e);
+  }
+  GraphBuilder builder(n);
+  for (const Edge& e : edges) builder.add_edge(e.u, e.v);
+  return std::move(builder).build();
+}
+
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed) {
+  DSND_REQUIRE(m >= 1, "attachment count must be positive");
+  DSND_REQUIRE(n > m, "need more vertices than attachment count");
+  Xoshiro256ss rng(stream_seed(seed, 0x6261ULL, static_cast<std::uint64_t>(n)));
+  GraphBuilder builder(n);
+  // Preferential attachment via the repeated-endpoints trick: sampling a
+  // uniform entry of `targets` is proportional to degree.
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < m; ++v) {
+    builder.add_edge(v, m);  // seed star so early vertices have degree >= 1
+    targets.push_back(v);
+    targets.push_back(m);
+  }
+  for (VertexId v = m + 1; v < n; ++v) {
+    std::set<VertexId> chosen;
+    while (static_cast<VertexId>(chosen.size()) < m) {
+      const std::size_t idx = uniform_below(rng, targets.size());
+      chosen.insert(targets[idx]);
+    }
+    for (VertexId t : chosen) {
+      builder.add_edge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return std::move(builder).build();
+}
+
+namespace {
+
+VertexId isqrt(VertexId n) {
+  auto r = static_cast<VertexId>(std::sqrt(static_cast<double>(n)));
+  while ((r + 1) * (r + 1) <= n) ++r;
+  while (r * r > n) --r;
+  return r;
+}
+
+const std::vector<GraphFamily>& families_impl() {
+  static const std::vector<GraphFamily> kFamilies = {
+      {"path", [](VertexId n, std::uint64_t) { return make_path(n); }},
+      {"cycle",
+       [](VertexId n, std::uint64_t) { return make_cycle(std::max<VertexId>(n, 3)); }},
+      {"grid",
+       [](VertexId n, std::uint64_t) {
+         const VertexId side = std::max<VertexId>(isqrt(n), 2);
+         return make_grid2d(side, side);
+       }},
+      {"balanced-tree",
+       [](VertexId n, std::uint64_t) {
+         // Binary tree with ~n vertices.
+         VertexId height = 1;
+         while (((static_cast<std::int64_t>(1) << (height + 2)) - 1) <= n) {
+           ++height;
+         }
+         return make_balanced_tree(2, height);
+       }},
+      {"random-tree",
+       [](VertexId n, std::uint64_t seed) { return make_random_tree(n, seed); }},
+      {"gnp-sparse",
+       [](VertexId n, std::uint64_t seed) {
+         // Expected average degree ~6.
+         return make_gnp(n, std::min(1.0, 6.0 / std::max<VertexId>(n - 1, 1)),
+                         seed);
+       }},
+      {"gnp-dense",
+       [](VertexId n, std::uint64_t seed) {
+         // Expected average degree ~ n/8 (dense but not complete).
+         return make_gnp(n, 0.125, seed);
+       }},
+      {"random-regular",
+       [](VertexId n, std::uint64_t seed) {
+         const VertexId even_n = n % 2 == 0 ? n : n + 1;
+         return make_random_regular(even_n, 4, seed);
+       }},
+      {"hypercube",
+       [](VertexId n, std::uint64_t) {
+         int dim = 1;
+         while ((static_cast<VertexId>(1) << (dim + 1)) <= n) ++dim;
+         return make_hypercube(dim);
+       }},
+      {"ring-of-cliques",
+       [](VertexId n, std::uint64_t) {
+         const VertexId clique = 8;
+         const VertexId rings = std::max<VertexId>(n / clique, 3);
+         return make_ring_of_cliques(rings, clique);
+       }},
+      {"small-world",
+       [](VertexId n, std::uint64_t seed) {
+         return make_watts_strogatz(std::max<VertexId>(n, 8), 3, 0.1, seed);
+       }},
+  };
+  return kFamilies;
+}
+
+}  // namespace
+
+const std::vector<GraphFamily>& standard_families() { return families_impl(); }
+
+const GraphFamily& family_by_name(const std::string& name) {
+  for (const GraphFamily& family : families_impl()) {
+    if (family.name == name) return family;
+  }
+  DSND_REQUIRE(false, "unknown graph family: " + name);
+  // Unreachable; DSND_REQUIRE throws.
+  throw std::invalid_argument("unreachable");
+}
+
+}  // namespace dsnd

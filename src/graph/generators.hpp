@@ -1,0 +1,100 @@
+// Graph family generators used by tests, examples, and the experiment
+// harnesses. The paper's guarantees are distribution-free, so the suite
+// spans sparse/dense random graphs, bounded-degree lattices, trees,
+// expanders (random regular), small-world graphs, and adversarial shapes
+// (barbell, ring of cliques) that stress cluster carving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+// --- Deterministic families ---------------------------------------------
+
+/// Path on n vertices: 0-1-2-...-(n-1).
+Graph make_path(VertexId n);
+
+/// Cycle on n >= 3 vertices.
+Graph make_cycle(VertexId n);
+
+/// rows x cols grid; vertex (r, c) has index r*cols + c.
+Graph make_grid2d(VertexId rows, VertexId cols);
+
+/// 2D torus (grid with wraparound); rows, cols >= 3.
+Graph make_torus2d(VertexId rows, VertexId cols);
+
+/// x*y*z lattice.
+Graph make_grid3d(VertexId x, VertexId y, VertexId z);
+
+/// Complete graph K_n.
+Graph make_complete(VertexId n);
+
+/// Star with one hub (vertex 0) and n-1 leaves.
+Graph make_star(VertexId n);
+
+/// Complete bipartite graph K_{a,b}; the first a vertices form one side.
+Graph make_complete_bipartite(VertexId a, VertexId b);
+
+/// Balanced tree with the given branching factor and height (root = 0).
+Graph make_balanced_tree(VertexId branching, VertexId height);
+
+/// Hypercube on 2^dim vertices; vertices adjacent iff ids differ in 1 bit.
+Graph make_hypercube(int dim);
+
+/// num_cliques cliques of clique_size vertices arranged in a ring, with one
+/// edge between consecutive cliques. Stresses the "two scales" case: tiny
+/// intra-cluster distances, large inter-cluster distances.
+Graph make_ring_of_cliques(VertexId num_cliques, VertexId clique_size);
+
+/// Two cliques of size clique_size joined by a path of path_len edges.
+Graph make_barbell(VertexId clique_size, VertexId path_len);
+
+/// Clique of clique_size with a path of path_len hanging off it.
+Graph make_lollipop(VertexId clique_size, VertexId path_len);
+
+// --- Random families ------------------------------------------------------
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+Graph make_gnp(VertexId n, double p, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m distinct edges chosen uniformly.
+Graph make_gnm(VertexId n, std::int64_t m, std::uint64_t seed);
+
+/// Uniform random labelled tree (Prüfer-free attachment construction:
+/// vertex i attaches to a uniform vertex in [0, i)).
+Graph make_random_tree(VertexId n, std::uint64_t seed);
+
+/// Random d-regular graph via the pairing model (retry until simple).
+/// Requires n*d even and d < n.
+Graph make_random_regular(VertexId n, VertexId d, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.
+Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
+                          std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment; each new vertex attaches m
+/// edges. Requires m >= 1 and n > m.
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed);
+
+// --- Named registry --------------------------------------------------------
+
+/// A named generator producing a graph of roughly n vertices; used by the
+/// parameterized tests and the experiment harnesses to sweep families.
+struct GraphFamily {
+  std::string name;
+  Graph (*make)(VertexId n, std::uint64_t seed);
+};
+
+/// The standard sweep: path, cycle, grid, tree, random tree, gnp-sparse,
+/// gnp-dense, random-regular, hypercube, ring-of-cliques, small-world.
+const std::vector<GraphFamily>& standard_families();
+
+/// Look up a family by name; throws std::invalid_argument if unknown.
+const GraphFamily& family_by_name(const std::string& name);
+
+}  // namespace dsnd

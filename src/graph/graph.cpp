@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+Graph Graph::from_edges(VertexId n, std::vector<Edge> edges, bool normalize) {
+  DSND_REQUIRE(n >= 0, "vertex count must be nonnegative");
+  for (auto& e : edges) {
+    DSND_REQUIRE(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                 "edge endpoint out of range");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  if (normalize) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  } else {
+    DSND_REQUIRE(std::adjacent_find(edges.begin(), edges.end()) == edges.end(),
+                 "duplicate edge in edge list");
+    DSND_REQUIRE(std::none_of(edges.begin(), edges.end(),
+                              [](const Edge& e) { return e.u == e.v; }),
+                 "self-loop in edge list");
+  }
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(static_cast<std::size_t>(edges.size()) * 2);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    g.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
+  // Rows come out sorted because the edge list is sorted by (u, v) and each
+  // row receives its entries in increasing order of the other endpoint —
+  // except the rows filled via the v side. Sort each row to be safe.
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = g.adjacency_.begin() + g.offsets_[static_cast<std::size_t>(v)];
+    auto end =
+        g.adjacency_.begin() + g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) return false;
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(static_cast<std::size_t>(num_edges()));
+  for_each_edge([&](VertexId u, VertexId v) { result.push_back({u, v}); });
+  return result;
+}
+
+void Graph::check_vertex(VertexId v) const {
+  DSND_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
+}
+
+GraphBuilder::GraphBuilder(VertexId n) : n_(n) {
+  DSND_REQUIRE(n >= 0, "vertex count must be nonnegative");
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  DSND_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+               "edge endpoint out of range");
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+}
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(n_, std::move(edges_), /*normalize=*/true);
+}
+
+}  // namespace dsnd

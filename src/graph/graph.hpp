@@ -1,0 +1,103 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// All decomposition algorithms operate on this structure. Graphs are
+// simple (no self-loops, no parallel edges) and unweighted, matching the
+// paper's model. Vertices are dense integers [0, n); in the distributed
+// interpretation vertex i hosts the processor with identity i+1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dsnd {
+
+using VertexId = std::int32_t;
+
+/// An undirected edge with endpoints in canonical (u < v) order.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  /// The empty graph on zero vertices.
+  Graph() = default;
+
+  /// Builds a graph on n vertices from an edge list. Self-loops and
+  /// duplicate edges (in either orientation) are rejected unless
+  /// normalize is true, in which case they are dropped/merged.
+  static Graph from_edges(VertexId n, std::vector<Edge> edges,
+                          bool normalize = false);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  std::int64_t num_edges() const {
+    return offsets_.empty() ? 0 : static_cast<std::int64_t>(adjacency_.size()) / 2;
+  }
+
+  VertexId degree(VertexId v) const {
+    check_vertex(v);
+    return static_cast<VertexId>(offsets_[static_cast<std::size_t>(v) + 1] -
+                                 offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Neighbors of v in increasing order.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    check_vertex(v);
+    const auto begin = offsets_[static_cast<std::size_t>(v)];
+    const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adjacency_.data() + begin, static_cast<std::size_t>(end - begin)};
+  }
+
+  /// O(log degree) adjacency test via binary search in the sorted row.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// All edges in canonical order (u < v), sorted lexicographically.
+  std::vector<Edge> edges() const;
+
+  /// Invokes fn(u, v) once per edge with u < v.
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (VertexId u = 0; u < num_vertices(); ++u) {
+      for (VertexId v : neighbors(u)) {
+        if (u < v) fn(u, v);
+      }
+    }
+  }
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  std::vector<std::int64_t> offsets_;  // size n+1
+  std::vector<VertexId> adjacency_;    // size 2m, rows sorted
+};
+
+/// Incremental edge-list builder; deduplicates and drops self-loops at
+/// build() time, so generators can add edges without bookkeeping.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId n);
+
+  VertexId num_vertices() const { return n_; }
+
+  /// Records an undirected edge; self-loops are ignored, duplicates merged.
+  void add_edge(VertexId u, VertexId v);
+
+  Graph build() &&;
+
+ private:
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dsnd

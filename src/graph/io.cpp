@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  g.for_each_edge(
+      [&out](VertexId u, VertexId v) { out << u << ' ' << v << '\n'; });
+}
+
+Graph read_edge_list(std::istream& in) {
+  VertexId n = 0;
+  std::int64_t m = 0;
+  if (!(in >> n >> m)) {
+    throw std::runtime_error("edge list: missing header");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    Edge e;
+    if (!(in >> e.u >> e.v)) {
+      throw std::runtime_error("edge list: truncated edge section");
+    }
+    edges.push_back(e);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void write_dimacs(std::ostream& out, const Graph& g) {
+  out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  g.for_each_edge([&out](VertexId u, VertexId v) {
+    out << "e " << (u + 1) << ' ' << (v + 1) << '\n';
+  });
+}
+
+Graph read_dimacs(std::istream& in) {
+  VertexId n = 0;
+  std::int64_t m = 0;
+  std::vector<Edge> edges;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'p') {
+      std::string format;
+      if (!(fields >> format >> n >> m) || format != "edge") {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      have_header = true;
+    } else if (tag == 'e') {
+      Edge e;
+      if (!(fields >> e.u >> e.v)) {
+        throw std::runtime_error("dimacs: malformed edge line");
+      }
+      --e.u;
+      --e.v;
+      edges.push_back(e);
+    } else {
+      throw std::runtime_error("dimacs: unknown line tag");
+    }
+  }
+  if (!have_header) throw std::runtime_error("dimacs: missing problem line");
+  if (static_cast<std::int64_t>(edges.size()) != m) {
+    throw std::runtime_error("dimacs: edge count mismatch");
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace dsnd

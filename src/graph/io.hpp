@@ -1,0 +1,25 @@
+// Plain-text graph serialization: a simple edge-list format and DIMACS.
+// Lets users run the library on their own graphs and lets tests round-trip
+// generator output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Edge-list format: first line "n m", then one "u v" line per edge.
+void write_edge_list(std::ostream& out, const Graph& g);
+Graph read_edge_list(std::istream& in);
+
+/// DIMACS format: "p edge n m" header, then "e u v" lines (1-indexed).
+void write_dimacs(std::ostream& out, const Graph& g);
+Graph read_dimacs(std::istream& in);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace dsnd

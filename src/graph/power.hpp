@@ -1,0 +1,15 @@
+// Graph powers: G^t connects u != v iff d_G(u, v) <= t. Needed by the
+// neighborhood-cover construction (decomposition/covers.hpp), which runs
+// the decomposition on G^{2W+1}.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Builds G^t by a depth-limited BFS from every vertex; O(n * m) for
+/// small t, O(n^2) memory in the worst case — intended for the
+/// simulation scales of this library.
+Graph graph_power(const Graph& g, std::int32_t t);
+
+}  // namespace dsnd

@@ -1,0 +1,71 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "graph/traversal.hpp"
+
+namespace dsnd {
+
+VertexId max_degree(const Graph& g) {
+  VertexId result = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result = std::max(result, g.degree(v));
+  }
+  return result;
+}
+
+double average_degree(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_vertices());
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<std::int8_t> side(static_cast<std::size_t>(g.num_vertices()),
+                                -1);
+  std::queue<VertexId> frontier;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (side[static_cast<std::size_t>(start)] != -1) continue;
+    side[static_cast<std::size_t>(start)] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      for (VertexId w : g.neighbors(u)) {
+        if (side[static_cast<std::size_t>(w)] == -1) {
+          side[static_cast<std::size_t>(w)] =
+              static_cast<std::int8_t>(1 - side[static_cast<std::size_t>(u)]);
+          frontier.push(w);
+        } else if (side[static_cast<std::size_t>(w)] ==
+                   side[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::int64_t triangle_count(const Graph& g) {
+  std::int64_t count = 0;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    // Count common neighbors w > v so each triangle is counted once via its
+    // lexicographically smallest edge.
+    for (VertexId w : g.neighbors(u)) {
+      if (w > v && g.has_edge(v, w)) ++count;
+    }
+  });
+  return count;
+}
+
+std::string describe(const Graph& g) {
+  std::ostringstream out;
+  out << "n=" << g.num_vertices() << " m=" << g.num_edges()
+      << " max_deg=" << max_degree(g) << " avg_deg=" << average_degree(g)
+      << " components=" << connected_components(g).count;
+  return out.str();
+}
+
+}  // namespace dsnd

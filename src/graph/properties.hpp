@@ -1,0 +1,23 @@
+// Cheap whole-graph properties used in reports and preconditions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+VertexId max_degree(const Graph& g);
+double average_degree(const Graph& g);
+
+/// True if the vertex set can be 2-colored (no odd cycle).
+bool is_bipartite(const Graph& g);
+
+/// Number of triangles (3-cycles); O(m * max_degree) — small graphs only.
+std::int64_t triangle_count(const Graph& g);
+
+/// One-line human-readable summary: n, m, degree stats, components.
+std::string describe(const Graph& g);
+
+}  // namespace dsnd

@@ -1,0 +1,43 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const VertexId> vertices) {
+  InducedSubgraph result;
+  result.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(result.to_parent.begin(), result.to_parent.end());
+  DSND_REQUIRE(std::adjacent_find(result.to_parent.begin(),
+                                  result.to_parent.end()) ==
+                   result.to_parent.end(),
+               "duplicate vertex in induced subgraph selection");
+
+  std::vector<VertexId> to_sub(static_cast<std::size_t>(g.num_vertices()),
+                               -1);
+  for (std::size_t i = 0; i < result.to_parent.size(); ++i) {
+    const VertexId parent = result.to_parent[i];
+    DSND_REQUIRE(parent >= 0 && parent < g.num_vertices(),
+                 "vertex out of range");
+    to_sub[static_cast<std::size_t>(parent)] = static_cast<VertexId>(i);
+  }
+
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < result.to_parent.size(); ++i) {
+    const VertexId parent = result.to_parent[i];
+    for (VertexId w : g.neighbors(parent)) {
+      const VertexId sub_w = to_sub[static_cast<std::size_t>(w)];
+      if (sub_w != -1 && static_cast<VertexId>(i) < sub_w) {
+        edges.push_back({static_cast<VertexId>(i), sub_w});
+      }
+    }
+  }
+  result.graph = Graph::from_edges(
+      static_cast<VertexId>(result.to_parent.size()), std::move(edges));
+  return result;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,25 @@
+// Induced subgraphs with an explicit index mapping back to the parent
+// graph. Used by the validators (strong diameter is defined on induced
+// subgraphs) and by the local solvers in apps/.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+struct InducedSubgraph {
+  Graph graph;                       // vertices renumbered 0..k-1
+  std::vector<VertexId> to_parent;   // sub id -> parent id (sorted)
+
+  VertexId parent_of(VertexId sub) const { return to_parent.at(
+      static_cast<std::size_t>(sub)); }
+};
+
+/// Subgraph induced by `vertices` (duplicates rejected).
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const VertexId> vertices);
+
+}  // namespace dsnd

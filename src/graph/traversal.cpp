@@ -1,0 +1,164 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+namespace {
+
+// Shared BFS loop with an optional vertex filter.
+template <typename Admit>
+std::vector<std::int32_t> bfs_impl(const Graph& g,
+                                   std::span<const VertexId> sources,
+                                   Admit admit) {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()),
+                                 kUnreachable);
+  std::queue<VertexId> frontier;
+  for (VertexId s : sources) {
+    DSND_REQUIRE(s >= 0 && s < g.num_vertices(), "source out of range");
+    DSND_REQUIRE(admit(s), "source excluded by filter");
+    if (dist[static_cast<std::size_t>(s)] == kUnreachable) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop();
+    const std::int32_t next = dist[static_cast<std::size_t>(u)] + 1;
+    for (VertexId w : g.neighbors(u)) {
+      if (!admit(w)) continue;
+      if (dist[static_cast<std::size_t>(w)] != kUnreachable) continue;
+      dist[static_cast<std::size_t>(w)] = next;
+      frontier.push(w);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source) {
+  const VertexId sources[] = {source};
+  return bfs_impl(g, sources, [](VertexId) { return true; });
+}
+
+std::vector<std::int32_t> bfs_distances_filtered(
+    const Graph& g, VertexId source, const std::vector<char>& alive) {
+  DSND_REQUIRE(alive.size() == static_cast<std::size_t>(g.num_vertices()),
+               "alive mask size mismatch");
+  const VertexId sources[] = {source};
+  return bfs_impl(g, sources, [&alive](VertexId v) {
+    return alive[static_cast<std::size_t>(v)] != 0;
+  });
+}
+
+std::vector<std::int32_t> multi_source_bfs(const Graph& g,
+                                           std::span<const VertexId> sources) {
+  return bfs_impl(g, sources, [](VertexId) { return true; });
+}
+
+std::vector<VertexId> shortest_path(const Graph& g, VertexId u, VertexId v) {
+  DSND_REQUIRE(u >= 0 && u < g.num_vertices(), "u out of range");
+  DSND_REQUIRE(v >= 0 && v < g.num_vertices(), "v out of range");
+  // BFS from v so the parent chase from u walks forward.
+  const auto dist = bfs_distances(g, v);
+  if (dist[static_cast<std::size_t>(u)] == kUnreachable) return {};
+  std::vector<VertexId> path;
+  path.push_back(u);
+  VertexId cur = u;
+  while (cur != v) {
+    for (VertexId w : g.neighbors(cur)) {
+      if (dist[static_cast<std::size_t>(w)] ==
+          dist[static_cast<std::size_t>(cur)] - 1) {
+        cur = w;
+        path.push_back(cur);
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+std::vector<std::vector<VertexId>> Components::groups() const {
+  std::vector<std::vector<VertexId>> result(
+      static_cast<std::size_t>(count));
+  for (std::size_t v = 0; v < component_of.size(); ++v) {
+    result[static_cast<std::size_t>(component_of[v])].push_back(
+        static_cast<VertexId>(v));
+  }
+  return result;
+}
+
+Components connected_components(const Graph& g) {
+  Components components;
+  components.component_of.assign(
+      static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<VertexId> frontier;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (components.component_of[static_cast<std::size_t>(start)] != -1) {
+      continue;
+    }
+    const std::int32_t label = components.count++;
+    components.component_of[static_cast<std::size_t>(start)] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      for (VertexId w : g.neighbors(u)) {
+        if (components.component_of[static_cast<std::size_t>(w)] == -1) {
+          components.component_of[static_cast<std::size_t>(w)] = label;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::int32_t eccentricity(const Graph& g, VertexId v) {
+  const auto dist = bfs_distances(g, v);
+  std::int32_t ecc = 0;
+  for (std::int32_t d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+std::int32_t exact_diameter(const Graph& g) {
+  std::int32_t diameter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    diameter = std::max(diameter, eccentricity(g, v));
+  }
+  return diameter;
+}
+
+std::int32_t two_sweep_diameter_lower_bound(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto first = bfs_distances(g, 0);
+  VertexId far = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (first[static_cast<std::size_t>(v)] >
+        first[static_cast<std::size_t>(far)]) {
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+std::vector<std::vector<std::int32_t>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<std::int32_t>> result;
+  result.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.push_back(bfs_distances(g, v));
+  }
+  return result;
+}
+
+}  // namespace dsnd

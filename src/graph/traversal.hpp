@@ -1,0 +1,59 @@
+// BFS-based primitives: distances, components, eccentricity, diameter.
+// These are both algorithm building blocks (the centralized reference
+// implementations) and the ground truth for the decomposition validators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Distance marker for unreachable vertices.
+inline constexpr std::int32_t kUnreachable = -1;
+
+/// Single-source BFS distances; kUnreachable where not connected.
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// BFS distances from `source` in the subgraph induced by the vertices for
+/// which `alive[v]` is true. `alive[source]` must hold.
+std::vector<std::int32_t> bfs_distances_filtered(
+    const Graph& g, VertexId source, const std::vector<char>& alive);
+
+/// Multi-source BFS: distance to the nearest source (all sources at 0).
+std::vector<std::int32_t> multi_source_bfs(const Graph& g,
+                                           std::span<const VertexId> sources);
+
+/// One shortest path from u to v (inclusive); empty if disconnected.
+std::vector<VertexId> shortest_path(const Graph& g, VertexId u, VertexId v);
+
+struct Components {
+  std::vector<std::int32_t> component_of;  // size n
+  std::int32_t count = 0;
+
+  /// Member lists, indexed by component id.
+  std::vector<std::vector<VertexId>> groups() const;
+};
+
+/// Connected components by BFS sweep.
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Largest BFS distance from v to any reachable vertex.
+std::int32_t eccentricity(const Graph& g, VertexId v);
+
+/// Exact diameter of the largest component via all-source BFS. Intended
+/// for validation on small/medium graphs (O(n*m)).
+std::int32_t exact_diameter(const Graph& g);
+
+/// Lower bound on the diameter from a double BFS sweep (exact on trees).
+std::int32_t two_sweep_diameter_lower_bound(const Graph& g);
+
+/// All-pairs distances via repeated BFS; O(n^2) memory — tests only.
+std::vector<std::vector<std::int32_t>> all_pairs_distances(const Graph& g);
+
+}  // namespace dsnd

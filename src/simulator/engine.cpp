@@ -1,0 +1,57 @@
+#include "simulator/engine.hpp"
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+void Outbox::send(VertexId to, std::vector<std::uint64_t> words) {
+  engine_.deliver(sender_, to, std::move(words));
+}
+
+void Outbox::send_to_all_neighbors(std::span<const std::uint64_t> words) {
+  for (VertexId to : engine_.graph().neighbors(sender_)) {
+    engine_.deliver(sender_, to,
+                    std::vector<std::uint64_t>(words.begin(), words.end()));
+  }
+}
+
+SyncEngine::SyncEngine(const Graph& g) : graph_(g) {
+  inboxes_.resize(static_cast<std::size_t>(g.num_vertices()));
+  next_inboxes_.resize(static_cast<std::size_t>(g.num_vertices()));
+}
+
+void SyncEngine::deliver(VertexId from, VertexId to,
+                         std::vector<std::uint64_t> words) {
+  DSND_REQUIRE(graph_.has_edge(from, to),
+               "protocol tried to send to a non-neighbor");
+  metrics_.record_message(current_round_, words.size());
+  next_inboxes_[static_cast<std::size_t>(to)].push_back(
+      Message{from, std::move(words)});
+}
+
+SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
+  metrics_ = SimMetrics{};
+  for (auto& box : inboxes_) box.clear();
+  for (auto& box : next_inboxes_) box.clear();
+  current_round_ = 0;
+
+  protocol.begin(graph_);
+  while (!protocol.finished() && current_round_ < max_rounds) {
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      Outbox out(*this, v);
+      protocol.on_round(v, current_round_,
+                        inboxes_[static_cast<std::size_t>(v)], out);
+    }
+    // Advance to the next round: what was sent becomes next inboxes.
+    for (std::size_t v = 0; v < inboxes_.size(); ++v) {
+      inboxes_[v].clear();
+      std::swap(inboxes_[v], next_inboxes_[v]);
+    }
+    ++current_round_;
+  }
+  metrics_.rounds = current_round_;
+  metrics_.messages_per_round.resize(current_round_, 0);
+  return metrics_;
+}
+
+}  // namespace dsnd

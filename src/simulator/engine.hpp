@@ -1,0 +1,92 @@
+// Synchronous message-passing simulator (the distributed substrate).
+//
+// Model: each vertex of the communication graph hosts a processor;
+// computation proceeds in synchronous rounds. In every round each
+// processor reads the messages its neighbors sent in the previous round,
+// updates local state, and sends new messages (to neighbors only — the
+// engine enforces adjacency). Message payloads are sequences of 64-bit
+// words; the engine records per-message widths so a protocol's CONGEST
+// compliance (O(1) words per message) can be asserted by tests/benches.
+//
+// Protocols must not share mutable state between vertices: the engine
+// calls on_round() for every vertex with only that vertex's inbox, and
+// the outputs become visible to neighbors in the *next* round, exactly as
+// in the standard synchronous model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
+
+namespace dsnd {
+
+struct Message {
+  VertexId from = -1;
+  std::vector<std::uint64_t> words;
+};
+
+class SyncEngine;
+
+/// Per-vertex send interface handed to Protocol::on_round.
+class Outbox {
+ public:
+  /// Queues a message from the current vertex to neighbor `to` for
+  /// delivery next round. Throws if `to` is not adjacent to the sender.
+  void send(VertexId to, std::vector<std::uint64_t> words);
+
+  /// Queues the same payload to every neighbor of the current vertex.
+  void send_to_all_neighbors(std::span<const std::uint64_t> words);
+
+ private:
+  friend class SyncEngine;
+  Outbox(SyncEngine& engine, VertexId sender)
+      : engine_(engine), sender_(sender) {}
+
+  SyncEngine& engine_;
+  VertexId sender_;
+};
+
+/// A distributed algorithm. The engine drives all vertices through
+/// synchronous rounds until finished() or a round cap.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once before the first round.
+  virtual void begin(const Graph& g) = 0;
+
+  /// Called once per vertex per round with the messages delivered to this
+  /// vertex (sent by neighbors in the previous round).
+  virtual void on_round(VertexId v, std::size_t round,
+                        std::span<const Message> inbox, Outbox& out) = 0;
+
+  /// Checked after every round; true stops the engine. A global predicate
+  /// is a simulation convenience (real deployments use termination
+  /// detection); it never feeds information back into on_round decisions.
+  virtual bool finished() const = 0;
+};
+
+class SyncEngine {
+ public:
+  explicit SyncEngine(const Graph& g);
+
+  /// Runs `protocol` until finished() or max_rounds; returns the metrics.
+  SimMetrics run(Protocol& protocol, std::size_t max_rounds);
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  friend class Outbox;
+  void deliver(VertexId from, VertexId to, std::vector<std::uint64_t> words);
+
+  const Graph& graph_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<Message>> next_inboxes_;
+  SimMetrics metrics_;
+  std::size_t current_round_ = 0;
+};
+
+}  // namespace dsnd

@@ -1,0 +1,32 @@
+// Cost accounting for the synchronous model: rounds, messages, words.
+//
+// The CONGEST claims of the paper ("each message consists of O(1) words")
+// are verified against max_message_words; the round bounds of Theorems
+// 1-3 against rounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsnd {
+
+struct SimMetrics {
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  /// Largest single message, in 64-bit words (CONGEST width check).
+  std::size_t max_message_words = 0;
+  /// Messages sent in each round (index = round).
+  std::vector<std::uint64_t> messages_per_round;
+
+  void record_message(std::size_t round, std::size_t message_words);
+
+  /// Average messages per round; 0 if no rounds elapsed.
+  double avg_messages_per_round() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace dsnd

@@ -1,0 +1,33 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dsnd {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) out << " — " << message;
+  return out.str();
+}
+
+}  // namespace
+
+void fail_require(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  throw std::invalid_argument(
+      format_failure("precondition", expr, file, line, message));
+}
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  throw std::logic_error(
+      format_failure("invariant", expr, file, line, message));
+}
+
+}  // namespace dsnd

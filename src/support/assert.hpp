@@ -1,0 +1,33 @@
+// Checked preconditions and internal invariants.
+//
+// DSND_REQUIRE guards public API preconditions and throws
+// std::invalid_argument so callers can recover from bad parameters.
+// DSND_CHECK guards internal invariants and throws std::logic_error;
+// a failure indicates a bug in this library, not in the caller.
+#pragma once
+
+#include <string>
+
+namespace dsnd {
+
+/// Thrown (as std::invalid_argument) when a public API precondition fails.
+[[noreturn]] void fail_require(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+/// Thrown (as std::logic_error) when an internal invariant fails.
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+
+}  // namespace dsnd
+
+#define DSND_REQUIRE(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) ::dsnd::fail_require(#cond, __FILE__, __LINE__, \
+                                      (msg));                    \
+  } while (false)
+
+#define DSND_CHECK(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::dsnd::fail_check(#cond, __FILE__, __LINE__, \
+                                    (msg));                    \
+  } while (false)

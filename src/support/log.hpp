@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the algorithms do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dsnd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if level passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace dsnd
+
+#define DSND_LOG_DEBUG ::dsnd::detail::LogLine(::dsnd::LogLevel::kDebug)
+#define DSND_LOG_INFO ::dsnd::detail::LogLine(::dsnd::LogLevel::kInfo)
+#define DSND_LOG_WARN ::dsnd::detail::LogLine(::dsnd::LogLevel::kWarn)
+#define DSND_LOG_ERROR ::dsnd::detail::LogLine(::dsnd::LogLevel::kError)

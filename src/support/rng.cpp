@@ -1,0 +1,17 @@
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) {
+  // Feed the three words through SplitMix64 sequentially; the chained
+  // finalizer makes (seed, a, b) -> stream a good avalanche mixing.
+  SplitMix64 mixer(seed);
+  std::uint64_t acc = mixer();
+  mixer = SplitMix64(acc ^ a);
+  acc = mixer();
+  mixer = SplitMix64(acc ^ b);
+  return mixer();
+}
+
+}  // namespace dsnd

@@ -1,0 +1,84 @@
+// Summary statistics used by the experiment harnesses: streaming
+// mean/variance (Welford), min/max, and exact quantiles over stored
+// samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsnd {
+
+/// Streaming accumulator: O(1) memory, numerically stable mean/variance.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Accumulator that also stores samples so quantiles can be extracted.
+class SampleSet {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile by nearest-rank on the sorted samples; q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the first/last bucket. Used to visualize radius and diameter spreads.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b, r_squared}.
+/// Used by the scaling benches to check O(log n) / O(log^2 n) shapes.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace dsnd

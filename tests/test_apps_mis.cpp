@@ -1,0 +1,94 @@
+#include "apps/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/checkers.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+DecompositionRun decompose(const Graph& g, std::uint64_t seed) {
+  ElkinNeimanOptions options;
+  options.k = 4;
+  options.seed = seed;
+  return elkin_neiman_decomposition(g, options);
+}
+
+TEST(Checkers, IndependentSetBasics) {
+  const Graph g = make_path(4);
+  EXPECT_TRUE(is_independent_set(g, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_independent_set(g, {1, 1, 0, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {1, 0, 1, 0}));
+  // {0} alone is independent but not maximal: vertex 2 could be added.
+  EXPECT_FALSE(is_maximal_independent_set(g, {1, 0, 0, 0}));
+}
+
+TEST(MisByDecomposition, ValidOnFamilies) {
+  for (const char* family :
+       {"grid", "gnp-sparse", "gnp-dense", "cycle", "random-tree",
+        "ring-of-cliques", "small-world"}) {
+    const Graph g = family_by_name(family).make(128, 3);
+    const DecompositionRun run = decompose(g, 3);
+    const MisResult result = mis_by_decomposition(g, run.clustering());
+    EXPECT_TRUE(is_maximal_independent_set(g, result.in_mis)) << family;
+  }
+}
+
+TEST(MisByDecomposition, RoundCostMatchesDChiShape) {
+  const Graph g = make_gnp(150, 0.05, 7);
+  const DecompositionRun run = decompose(g, 7);
+  const MisResult result = mis_by_decomposition(g, run.clustering());
+  // rounds <= (2D + 2) * chi with D the max cluster diameter.
+  const std::int64_t upper =
+      (2 * static_cast<std::int64_t>(result.cost.max_cluster_diameter) + 2) *
+      result.cost.color_classes;
+  EXPECT_LE(result.cost.rounds, upper);
+  EXPECT_GT(result.cost.rounds, 0);
+  // color_classes counts non-empty classes; phases that carved nothing
+  // consume a color index but no pipeline time.
+  EXPECT_LE(result.cost.color_classes, run.clustering().num_colors());
+  EXPECT_GT(result.cost.color_classes, 0);
+}
+
+TEST(MisByDecomposition, CompleteGraphPicksExactlyOne) {
+  const Graph g = make_complete(20);
+  const DecompositionRun run = decompose(g, 5);
+  const MisResult result = mis_by_decomposition(g, run.clustering());
+  int count = 0;
+  for (char b : result.in_mis) count += b;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MisByDecomposition, EmptyEdgeSetTakesAll) {
+  const Graph g = Graph::from_edges(10, {});
+  const DecompositionRun run = decompose(g, 1);
+  const MisResult result = mis_by_decomposition(g, run.clustering());
+  for (char b : result.in_mis) EXPECT_EQ(b, 1);
+}
+
+TEST(GreedyMis, IsValidOracle) {
+  for (const char* family : {"grid", "gnp-dense", "cycle"}) {
+    const Graph g = family_by_name(family).make(100, 9);
+    EXPECT_TRUE(is_maximal_independent_set(g, greedy_mis(g))) << family;
+  }
+}
+
+TEST(MisByDecomposition, SizeComparableToGreedy) {
+  // Both are maximal; sizes should be in the same ballpark (within 3x).
+  const Graph g = make_gnp(200, 0.04, 11);
+  const DecompositionRun run = decompose(g, 11);
+  const MisResult result = mis_by_decomposition(g, run.clustering());
+  int dec_size = 0, greedy_size = 0;
+  const auto greedy = greedy_mis(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    dec_size += result.in_mis[static_cast<std::size_t>(v)];
+    greedy_size += greedy[static_cast<std::size_t>(v)];
+  }
+  EXPECT_GT(dec_size * 3, greedy_size);
+  EXPECT_GT(greedy_size * 3, dec_size);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,45 @@
+#include "support/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsnd {
+namespace {
+
+TEST(Assert, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DSND_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(DSND_REQUIRE(false, "bad parameter"), std::invalid_argument);
+}
+
+TEST(Assert, CheckThrowsLogicError) {
+  EXPECT_THROW(DSND_CHECK(false, "broken invariant"), std::logic_error);
+}
+
+TEST(Assert, MessageContainsExpressionAndText) {
+  try {
+    DSND_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Assert, CheckMessageMentionsInvariant) {
+  try {
+    DSND_CHECK(false, "state machine corrupted");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos);
+    EXPECT_NE(what.find("state machine corrupted"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,108 @@
+#include "decomposition/covers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "decomposition/validation.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Covers, PropertiesHoldOnFamilies) {
+  for (const char* family : {"grid", "cycle", "random-tree", "gnp-sparse"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      const Graph g = family_by_name(family).make(80, seed);
+      CoverOptions options;
+      options.radius = 2;
+      options.k = 3;
+      options.seed = seed;
+      const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+      const CoverReport report = validate_cover(g, cover);
+      // Ball coverage holds unconditionally (partitions cover V).
+      EXPECT_TRUE(report.all_balls_covered) << family << " seed=" << seed;
+      if (!cover.base.carve.radius_overflow) {
+        EXPECT_TRUE(report.color_classes_disjoint)
+            << family << " seed=" << seed;
+        EXPECT_TRUE(report.all_clusters_connected)
+            << family << " seed=" << seed;
+        // Strong diameter <= (2W+1)(2k-2) + 2W.
+        const std::int32_t bound =
+            (2 * options.radius + 1) * (2 * options.k - 2) +
+            2 * options.radius;
+        ASSERT_NE(report.max_strong_diameter, kInfiniteDiameter);
+        EXPECT_LE(report.max_strong_diameter, bound)
+            << family << " seed=" << seed;
+        // Overlap bounded by the number of colors.
+        EXPECT_LE(report.max_overlap, cover.num_colors);
+      }
+    }
+  }
+}
+
+TEST(Covers, RadiusOneOnGrid) {
+  const Graph g = make_grid2d(8, 8);
+  CoverOptions options;
+  options.radius = 1;
+  options.k = 3;
+  options.seed = 4;
+  const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+  const CoverReport report = validate_cover(g, cover);
+  EXPECT_TRUE(report.all_balls_covered);
+  EXPECT_GT(cover.clusters.size(), 0u);
+  EXPECT_EQ(cover.radius, 1);
+}
+
+TEST(Covers, EveryVertexInSomeCluster) {
+  const Graph g = make_cycle(30);
+  CoverOptions options;
+  options.radius = 2;
+  options.seed = 6;
+  const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+  std::vector<char> covered(30, 0);
+  for (const CoverCluster& cluster : cover.clusters) {
+    for (const VertexId v : cluster.members) {
+      covered[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  for (const char c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(Covers, ExpansionContainsCore) {
+  // Each cover cluster contains its center's whole W-ball.
+  const Graph g = make_grid2d(6, 6);
+  CoverOptions options;
+  options.radius = 2;
+  options.seed = 8;
+  const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+  for (const CoverCluster& cluster : cover.clusters) {
+    EXPECT_GE(cluster.members.size(), 1u);
+    EXPECT_GE(cluster.color, 0);
+  }
+}
+
+TEST(Covers, RejectsBadParameters) {
+  EXPECT_THROW(build_neighborhood_cover(Graph(), CoverOptions{}),
+               std::invalid_argument);
+  CoverOptions options;
+  options.radius = 0;
+  EXPECT_THROW(build_neighborhood_cover(make_path(4), options),
+               std::invalid_argument);
+}
+
+TEST(Covers, DeterministicInSeed) {
+  const Graph g = make_gnp(50, 0.1, 2);
+  CoverOptions options;
+  options.radius = 1;
+  options.seed = 42;
+  const NeighborhoodCover a = build_neighborhood_cover(g, options);
+  const NeighborhoodCover b = build_neighborhood_cover(g, options);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].members, b.clusters[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace dsnd

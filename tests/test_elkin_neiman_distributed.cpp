@@ -1,0 +1,120 @@
+#include "decomposition/elkin_neiman_distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "decomposition/supergraph.hpp"
+#include "decomposition/validation.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Distributed, BitIdenticalToCentralizedReference) {
+  // The headline fidelity property: the CONGEST protocol and the
+  // centralized reference consume the same per-(phase, vertex) random
+  // stream and must produce the same clustering, phase count, and round
+  // count.
+  for (const char* family :
+       {"grid", "cycle", "gnp-sparse", "random-tree", "ring-of-cliques"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      const Graph g = family_by_name(family).make(96, seed);
+      ElkinNeimanOptions options;
+      options.k = 4;
+      options.seed = seed;
+      const DecompositionRun central =
+          elkin_neiman_decomposition(g, options);
+      const DistributedRun dist = elkin_neiman_distributed(g, options);
+      ASSERT_EQ(dist.run.carve.phases_used, central.carve.phases_used)
+          << family << " seed=" << seed;
+      ASSERT_EQ(dist.run.carve.rounds, central.carve.rounds)
+          << family << " seed=" << seed;
+      EXPECT_EQ(dist.run.carve.radius_overflow,
+                central.carve.radius_overflow);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(dist.run.clustering().cluster_of(v),
+                  central.clustering().cluster_of(v))
+            << family << " seed=" << seed << " v=" << v;
+      }
+      for (ClusterId c = 0; c < central.clustering().num_clusters(); ++c) {
+        ASSERT_EQ(dist.run.clustering().center_of(c),
+                  central.clustering().center_of(c));
+        ASSERT_EQ(dist.run.clustering().color_of(c),
+                  central.clustering().color_of(c));
+      }
+    }
+  }
+}
+
+TEST(Distributed, MessagesAreCongestWidth) {
+  const Graph g = make_gnp(80, 0.08, 3);
+  ElkinNeimanOptions options;
+  options.k = 4;
+  options.seed = 3;
+  const DistributedRun dist = elkin_neiman_distributed(g, options);
+  EXPECT_LE(dist.sim.max_message_words, kMaxProtocolMessageWords);
+  EXPECT_GT(dist.sim.messages, 0u);
+}
+
+TEST(Distributed, SimRoundsMatchAccounting) {
+  const Graph g = make_grid2d(8, 8);
+  ElkinNeimanOptions options;
+  options.k = 3;
+  options.seed = 5;
+  const DistributedRun dist = elkin_neiman_distributed(g, options);
+  // The engine stops in the deciding step of the last phase.
+  EXPECT_EQ(static_cast<std::int64_t>(dist.sim.rounds),
+            dist.run.carve.rounds);
+}
+
+TEST(Distributed, ValidStrongDecompositionWithoutOverflow) {
+  const Graph g = make_torus2d(8, 8);
+  ElkinNeimanOptions options;
+  options.k = 4;
+  options.seed = 11;
+  const DistributedRun dist = elkin_neiman_distributed(g, options);
+  EXPECT_TRUE(dist.run.clustering().is_complete());
+  EXPECT_TRUE(phase_coloring_is_proper(g, dist.run.clustering()));
+  if (!dist.run.carve.radius_overflow) {
+    const DecompositionReport report =
+        validate_decomposition(g, dist.run.clustering());
+    EXPECT_LE(report.max_strong_diameter, 2 * 4 - 2);
+    EXPECT_TRUE(report.all_clusters_connected);
+  }
+}
+
+TEST(Distributed, RejectsNonUnitMargin) {
+  ElkinNeimanOptions options;
+  options.margin = 0.5;
+  EXPECT_THROW(elkin_neiman_distributed(make_path(4), options),
+               std::invalid_argument);
+}
+
+TEST(Distributed, SingleVertexTerminatesImmediately) {
+  const Graph g = make_path(1);
+  ElkinNeimanOptions options;
+  options.k = 2;
+  const DistributedRun dist = elkin_neiman_distributed(g, options);
+  EXPECT_TRUE(dist.run.clustering().is_complete());
+  EXPECT_EQ(dist.sim.messages, 0u);  // no neighbors to talk to
+}
+
+TEST(Distributed, MessageVolumeScalesWithPhases) {
+  // Sanity bound: at most 2 entry messages per directed edge per
+  // broadcast round, plus one departure per vertex.
+  const Graph g = make_cycle(64);
+  ElkinNeimanOptions options;
+  options.k = 3;
+  options.seed = 7;
+  const DistributedRun dist = elkin_neiman_distributed(g, options);
+  const auto broadcast_rounds =
+      static_cast<std::uint64_t>(dist.run.carve.phases_used) * 3;
+  const std::uint64_t upper =
+      broadcast_rounds * 2 * 2 * static_cast<std::uint64_t>(g.num_edges()) +
+      static_cast<std::uint64_t>(g.num_vertices()) * 2;
+  EXPECT_LE(dist.sim.messages, upper);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,203 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "graph/traversal.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(exact_diameter(g), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Generators, PathSingleVertex) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(exact_diameter(g), 3);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, Grid2d) {
+  const Graph g = make_grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(exact_diameter(g), 2 + 3);      // Manhattan corner-to-corner
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, Torus2d) {
+  const Graph g = make_torus2d(4, 4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(exact_diameter(g), 4);
+}
+
+TEST(Generators, Grid3d) {
+  const Graph g = make_grid3d(2, 3, 4);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(exact_diameter(g), 1 + 2 + 3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_EQ(exact_diameter(g), 1);
+  EXPECT_EQ(max_degree(g), 5);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.degree(0), 6);
+  EXPECT_EQ(exact_diameter(g), 2);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(triangle_count(g), 0);
+}
+
+TEST(Generators, BalancedTree) {
+  const Graph g = make_balanced_tree(2, 3);  // 1+2+4+8 = 15 vertices
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 6);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(exact_diameter(g), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, RingOfCliques) {
+  const Graph g = make_ring_of_cliques(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  // 4 cliques of C(5,2)=10 edges plus 4 connecting edges.
+  EXPECT_EQ(g.num_edges(), 44);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = make_barbell(4, 3);
+  EXPECT_EQ(g.num_vertices(), 4 + 4 + 2);
+  EXPECT_TRUE(is_connected(g));
+  // Diameter: across both cliques and the path.
+  EXPECT_EQ(exact_diameter(g), 1 + 3 + 1);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(4, 3);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 4);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  const VertexId n = 400;
+  const double p = 0.05;
+  const Graph g = make_gnp(n, p, 7);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(make_gnp(10, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(make_gnp(10, 1.0, 1).num_edges(), 45);
+}
+
+TEST(Generators, GnpDeterministicInSeed) {
+  EXPECT_EQ(make_gnp(100, 0.1, 5), make_gnp(100, 0.1, 5));
+  EXPECT_NE(make_gnp(100, 0.1, 5), make_gnp(100, 0.1, 6));
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const Graph g = make_gnm(50, 200, 3);
+  EXPECT_EQ(g.num_vertices(), 50);
+  EXPECT_EQ(g.num_edges(), 200);
+}
+
+TEST(Generators, GnmRejectsTooManyEdges) {
+  EXPECT_THROW(make_gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = make_random_tree(64, seed);
+    EXPECT_EQ(g.num_edges(), 63);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = make_random_regular(50, 4, 11);
+  EXPECT_EQ(g.num_vertices(), 50);
+  for (VertexId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  const Graph g = make_watts_strogatz(100, 3, 0.1, 13);
+  EXPECT_EQ(g.num_vertices(), 100);
+  // Rewiring preserves the edge count (300) up to saturated fallbacks.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 300.0, 5.0);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsLattice) {
+  const Graph g = make_watts_strogatz(20, 2, 0.0, 1);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const Graph g = make_barabasi_albert(200, 3, 17);
+  EXPECT_EQ(g.num_vertices(), 200);
+  EXPECT_TRUE(is_connected(g));
+  // Preferential attachment yields a heavy hub.
+  EXPECT_GT(max_degree(g), 10);
+}
+
+TEST(Generators, StandardFamiliesProduceReasonableSizes) {
+  for (const GraphFamily& family : standard_families()) {
+    const Graph g = family.make(128, 42);
+    EXPECT_GE(g.num_vertices(), 32) << family.name;
+    EXPECT_LE(g.num_vertices(), 512) << family.name;
+  }
+}
+
+TEST(Generators, FamilyLookup) {
+  EXPECT_EQ(family_by_name("grid").name, "grid");
+  EXPECT_THROW(family_by_name("nonexistent"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,117 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dsnd {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, FromEdgesBasic) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = Graph::from_edges(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}});
+  const auto row = g.neighbors(3);
+  ASSERT_EQ(row.size(), 4u);
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    EXPECT_LT(row[i - 1], row[i]);
+  }
+}
+
+TEST(Graph, EdgesCanonicalOrder) {
+  const Graph g = Graph::from_edges(3, {{2, 1}, {1, 0}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+}
+
+TEST(Graph, ForEachEdgeVisitsOncePerEdge) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  int count = 0;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, NormalizeDropsLoopsAndDuplicates) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {2, 2}, {1, 2}},
+                                    /*normalize=*/true);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Graph, VertexRangeChecked) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_THROW(g.degree(2), std::invalid_argument);
+  EXPECT_THROW(g.neighbors(-1), std::invalid_argument);
+  EXPECT_THROW(g.has_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  const Graph a = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(3, {{1, 2}, {0, 1}});
+  const Graph c = Graph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(GraphBuilder, MergesAndIgnoresLoops) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  builder.add_edge(2, 2);  // ignored
+  builder.add_edge(3, 2);
+  const Graph g = std::move(builder).build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2), std::invalid_argument);
+}
+
+TEST(Graph, IsolatedVerticesHaveDegreeZero) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,117 @@
+#include "decomposition/hst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Hst, LeavesExistForEveryVertex) {
+  const Graph g = make_grid2d(5, 5);
+  const HstTree tree = build_hst(g, {.c = 4.0, .seed = 1});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(tree.leaf_of(v), 0);
+    EXPECT_LT(tree.leaf_of(v), tree.num_nodes());
+  }
+  EXPECT_EQ(tree.num_vertices(), 25);
+}
+
+TEST(Hst, DistanceIsAMetricOnLeaves) {
+  const Graph g = make_cycle(12);
+  const HstTree tree = build_hst(g, {.c = 4.0, .seed = 2});
+  for (VertexId u = 0; u < 12; ++u) {
+    EXPECT_DOUBLE_EQ(tree.distance(u, u), 0.0);
+    for (VertexId v = 0; v < 12; ++v) {
+      EXPECT_DOUBLE_EQ(tree.distance(u, v), tree.distance(v, u));
+      if (u != v) {
+        EXPECT_GT(tree.distance(u, v), 0.0);
+      }
+    }
+  }
+  // Triangle inequality on a few triples (tree metrics satisfy it).
+  for (VertexId a = 0; a < 10; ++a) {
+    EXPECT_LE(tree.distance(a, a + 2),
+              tree.distance(a, a + 1) + tree.distance(a + 1, a + 2) + 1e-9);
+  }
+}
+
+TEST(Hst, DominatesGraphDistanceEverywhere) {
+  // The construction guarantee: d_T >= d_G for every pair, every seed.
+  for (const char* family : {"path", "cycle", "grid", "gnp-sparse"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      const Graph g = family_by_name(family).make(48, seed);
+      const HstTree tree = build_hst(g, {.c = 4.0, .seed = seed});
+      const auto all = all_pairs_distances(g);
+      for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+          const std::int32_t dg =
+              all[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+          const double dt = tree.distance(u, v);
+          if (dg == kUnreachable) {
+            EXPECT_LT(dt, 0.0) << family;  // cross-component: infinite
+          } else {
+            EXPECT_GE(dt + 1e-9, static_cast<double>(dg))
+                << family << " seed=" << seed << " u=" << u << " v=" << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Hst, DisconnectedComponentsAreInfinitelyFar) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const HstTree tree = build_hst(g, {.c = 4.0, .seed = 5});
+  EXPECT_LT(tree.distance(0, 3), 0.0);
+  EXPECT_GE(tree.distance(0, 2), 2.0);
+}
+
+TEST(Hst, DeterministicInSeed) {
+  const Graph g = make_gnp(60, 0.08, 7);
+  const HstTree a = build_hst(g, {.c = 4.0, .seed = 11});
+  const HstTree b = build_hst(g, {.c = 4.0, .seed = 11});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(a.distance(u, v), b.distance(u, v));
+    }
+  }
+}
+
+TEST(Hst, StretchReportShapes) {
+  const Graph g = make_torus2d(8, 8);
+  const HstTree tree = build_hst(g, {.c = 4.0, .seed = 3});
+  const StretchReport report = measure_hst_stretch(g, tree, 200, 3);
+  EXPECT_TRUE(report.dominating);
+  EXPECT_GE(report.mean, 1.0);
+  EXPECT_GE(report.max, report.mean);
+  EXPECT_GT(report.pairs, 0);
+  // Bartal-style bound with a generous constant: O(log^2 n).
+  const double log_n = std::log2(64.0);
+  EXPECT_LE(report.mean, 8.0 * log_n * log_n);
+}
+
+TEST(Hst, SingleVertexGraph) {
+  const Graph g = make_path(1);
+  const HstTree tree = build_hst(g, {.c = 4.0, .seed = 1});
+  EXPECT_DOUBLE_EQ(tree.distance(0, 0), 0.0);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+TEST(Hst, RejectsBadInput) {
+  EXPECT_THROW(build_hst(Graph(), HstOptions{}), std::invalid_argument);
+  HstOptions bad;
+  bad.c = 0.0;
+  EXPECT_THROW(build_hst(make_path(3), bad), std::invalid_argument);
+  const HstTree tree = build_hst(make_path(3), HstOptions{});
+  EXPECT_THROW(tree.distance(0, 7), std::invalid_argument);
+  EXPECT_THROW(measure_hst_stretch(make_path(3), tree, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsnd

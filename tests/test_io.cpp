@@ -1,0 +1,81 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = make_grid2d(4, 5);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(g, back);
+}
+
+TEST(Io, EdgeListEmptyGraph) {
+  const Graph g = Graph::from_edges(3, {});
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), 3);
+  EXPECT_EQ(back.num_edges(), 0);
+}
+
+TEST(Io, EdgeListRejectsTruncated) {
+  std::stringstream buffer("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(Io, EdgeListRejectsMissingHeader) {
+  std::stringstream buffer("");
+  EXPECT_THROW(read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(Io, DimacsRoundTrip) {
+  const Graph g = make_cycle(8);
+  std::stringstream buffer;
+  write_dimacs(buffer, g);
+  const Graph back = read_dimacs(buffer);
+  EXPECT_EQ(g, back);
+}
+
+TEST(Io, DimacsSkipsComments) {
+  std::stringstream buffer("c a comment\np edge 3 1\nc more\ne 1 2\n");
+  const Graph g = read_dimacs(buffer);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Io, DimacsRejectsCountMismatch) {
+  std::stringstream buffer("p edge 3 2\ne 1 2\n");
+  EXPECT_THROW(read_dimacs(buffer), std::runtime_error);
+}
+
+TEST(Io, DimacsRejectsUnknownTag) {
+  std::stringstream buffer("p edge 2 0\nx nonsense\n");
+  EXPECT_THROW(read_dimacs(buffer), std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = make_gnp(30, 0.2, 4);
+  const std::string path = testing::TempDir() + "dsnd_io_test.txt";
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_EQ(g, back);
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/definitely/missing.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,70 @@
+#include "apps/luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Luby, ValidMisOnFamilies) {
+  for (const char* family :
+       {"grid", "gnp-sparse", "gnp-dense", "cycle", "random-tree",
+        "ring-of-cliques", "small-world", "hypercube"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      const Graph g = family_by_name(family).make(128, seed);
+      const LubyResult result = luby_mis(g, seed);
+      EXPECT_TRUE(is_maximal_independent_set(g, result.in_mis))
+          << family << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Luby, IterationCountLogarithmic) {
+  // O(log n) iterations in expectation; allow a loose 8x constant.
+  const Graph g = make_gnp(512, 0.02, 5);
+  const LubyResult result = luby_mis(g, 5);
+  EXPECT_LE(result.iterations, 8.0 * std::log2(512.0));
+  EXPECT_GE(result.iterations, 1);
+}
+
+TEST(Luby, MessagesAreSmall) {
+  const Graph g = make_grid2d(10, 10);
+  const LubyResult result = luby_mis(g, 9);
+  EXPECT_LE(result.sim.max_message_words, 3u);
+}
+
+TEST(Luby, DeterministicInSeed) {
+  const Graph g = make_gnp(100, 0.05, 11);
+  const LubyResult a = luby_mis(g, 42);
+  const LubyResult b = luby_mis(g, 42);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.sim.rounds, b.sim.rounds);
+}
+
+TEST(Luby, SingleVertexJoins) {
+  const Graph g = make_path(1);
+  const LubyResult result = luby_mis(g, 1);
+  EXPECT_EQ(result.in_mis[0], 1);
+}
+
+TEST(Luby, CompleteGraphSelectsOne) {
+  const Graph g = make_complete(25);
+  const LubyResult result = luby_mis(g, 13);
+  int count = 0;
+  for (char b : result.in_mis) count += b;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Luby, EdgelessGraphSelectsAllInOneIteration) {
+  const Graph g = Graph::from_edges(12, {});
+  const LubyResult result = luby_mis(g, 2);
+  for (char b : result.in_mis) EXPECT_EQ(b, 1);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+}  // namespace
+}  // namespace dsnd

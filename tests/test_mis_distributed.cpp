@@ -1,0 +1,115 @@
+#include "apps/mis_distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/checkers.hpp"
+#include "apps/mis.hpp"
+#include "decomposition/elkin_neiman.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+/// An Elkin–Neiman run guaranteed usable by the pipeline (no radius
+/// overflow, so clusters are connected with radius <= k-1 and the phase
+/// coloring is proper); scans seeds until one qualifies.
+DecompositionRun usable_run(const Graph& g, std::int32_t k,
+                            std::uint64_t base_seed) {
+  for (std::uint64_t seed = base_seed; seed < base_seed + 50; ++seed) {
+    ElkinNeimanOptions options;
+    options.k = k;
+    options.seed = seed;
+    DecompositionRun run = elkin_neiman_decomposition(g, options);
+    if (!run.carve.radius_overflow) return run;
+  }
+  throw std::runtime_error("no overflow-free run found");
+}
+
+TEST(MisPipeline, MatchesCentralizedPipelineExactly) {
+  for (const char* family :
+       {"grid", "cycle", "gnp-sparse", "random-tree", "ring-of-cliques"}) {
+    const Graph g = family_by_name(family).make(96, 3);
+    const std::int32_t k = 4;
+    const DecompositionRun run = usable_run(g, k, 1);
+    const MisResult central = mis_by_decomposition(g, run.clustering());
+    const DistributedMisResult dist =
+        mis_distributed_pipeline(g, run.clustering(), k);
+    EXPECT_EQ(dist.in_mis, central.in_mis) << family;
+    EXPECT_TRUE(is_maximal_independent_set(g, dist.in_mis)) << family;
+  }
+}
+
+TEST(MisPipeline, RoundsAreClassesTimesBudget) {
+  const Graph g = make_grid2d(10, 10);
+  const std::int32_t k = 4;
+  const DecompositionRun run = usable_run(g, k, 2);
+  const DistributedMisResult dist =
+      mis_distributed_pipeline(g, run.clustering(), k);
+  EXPECT_EQ(dist.rounds_per_class, 3 * k + 2);
+  EXPECT_EQ(dist.classes, run.clustering().num_colors());
+  // The engine stops as soon as the last class decides, which happens
+  // within the final class's budget.
+  EXPECT_LE(dist.sim.rounds,
+            static_cast<std::size_t>(dist.classes) *
+                static_cast<std::size_t>(dist.rounds_per_class));
+  EXPECT_GT(dist.sim.rounds,
+            static_cast<std::size_t>(dist.classes - 1) *
+                static_cast<std::size_t>(dist.rounds_per_class));
+}
+
+TEST(MisPipeline, LocalModelMessagesAreWide) {
+  // Convergecast payloads carry whole subtree topologies: this is the
+  // LOCAL model, and message widths reflect it (contrast: the carving
+  // protocol's 4-word CONGEST messages).
+  const Graph g = make_gnp(128, 0.08, 7);
+  const std::int32_t k = 4;
+  const DecompositionRun run = usable_run(g, k, 7);
+  const DistributedMisResult dist =
+      mis_distributed_pipeline(g, run.clustering(), k);
+  EXPECT_GT(dist.sim.max_message_words, 4u);
+  EXPECT_TRUE(is_maximal_independent_set(g, dist.in_mis));
+}
+
+TEST(MisPipeline, ValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = make_gnp(120, 0.05, seed);
+    const std::int32_t k = 4;
+    const DecompositionRun run = usable_run(g, k, seed);
+    const DistributedMisResult dist =
+        mis_distributed_pipeline(g, run.clustering(), k);
+    EXPECT_TRUE(is_maximal_independent_set(g, dist.in_mis))
+        << "seed=" << seed;
+  }
+}
+
+TEST(MisPipeline, SingletonClustersWork) {
+  // k = 1 gives all-singleton clusters; the pipeline degenerates to
+  // sequential-by-color greedy.
+  const Graph g = make_cycle(24);
+  const DecompositionRun run = usable_run(g, 1, 4);
+  const DistributedMisResult dist =
+      mis_distributed_pipeline(g, run.clustering(), 1);
+  EXPECT_TRUE(is_maximal_independent_set(g, dist.in_mis));
+}
+
+TEST(MisPipeline, RejectsBadInputs) {
+  const Graph g = make_path(6);
+  Clustering incomplete(6);
+  incomplete.add_cluster(0, 0);
+  EXPECT_THROW(mis_distributed_pipeline(g, incomplete, 2),
+               std::invalid_argument);
+
+  // Improper coloring: two adjacent clusters sharing a color.
+  Clustering improper(6);
+  const ClusterId a = improper.add_cluster(0, 0);
+  const ClusterId b = improper.add_cluster(3, 0);
+  for (VertexId v = 0; v < 3; ++v) improper.assign(v, a);
+  for (VertexId v = 3; v < 6; ++v) improper.assign(v, b);
+  EXPECT_THROW(mis_distributed_pipeline(g, improper, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,103 @@
+#include "decomposition/padding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "decomposition/mpx.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "support/stats.hpp"
+
+namespace dsnd {
+namespace {
+
+Clustering split_path(VertexId n, VertexId cut) {
+  // Path 0..n-1; cluster A = [0, cut), cluster B = [cut, n).
+  Clustering c(n);
+  const ClusterId a = c.add_cluster(0, 0);
+  const ClusterId b = c.add_cluster(cut, 1);
+  for (VertexId v = 0; v < n; ++v) c.assign(v, v < cut ? a : b);
+  return c;
+}
+
+TEST(Padding, PathSplitDistances) {
+  const Graph g = make_path(6);
+  const auto pad = padding_distances(g, split_path(6, 3));
+  // Boundary edge 2-3: pad(2) = pad(3) = 1; grows inward.
+  EXPECT_EQ(pad[2], 1);
+  EXPECT_EQ(pad[3], 1);
+  EXPECT_EQ(pad[1], 2);
+  EXPECT_EQ(pad[4], 2);
+  EXPECT_EQ(pad[0], 3);
+  EXPECT_EQ(pad[5], 3);
+}
+
+TEST(Padding, SingleClusterIsInfinite) {
+  const Graph g = make_cycle(8);
+  Clustering c(8);
+  const ClusterId a = c.add_cluster(0, 0);
+  for (VertexId v = 0; v < 8; ++v) c.assign(v, a);
+  const auto pad = padding_distances(g, c);
+  for (const std::int32_t p : pad) EXPECT_EQ(p, kInfinitePadding);
+}
+
+TEST(Padding, MatchesBruteForce) {
+  const Graph g = make_gnp(60, 0.08, 5);
+  const MpxResult mpx = mpx_partition(g, {.beta = 0.5, .seed = 5});
+  const auto pad = padding_distances(g, mpx.clustering);
+  const auto all = all_pairs_distances(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::int32_t expected = kInfinitePadding;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (mpx.clustering.cluster_of(u) == mpx.clustering.cluster_of(v)) {
+        continue;
+      }
+      const std::int32_t d =
+          all[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
+      if (d == kUnreachable) continue;
+      if (expected == kInfinitePadding || d < expected) expected = d;
+    }
+    EXPECT_EQ(pad[static_cast<std::size_t>(v)], expected) << "v=" << v;
+  }
+}
+
+TEST(Padding, RequiresCompletePartition) {
+  const Graph g = make_path(4);
+  Clustering c(4);
+  const ClusterId a = c.add_cluster(0, 0);
+  c.assign(0, a);
+  EXPECT_THROW(padding_distances(g, c), std::invalid_argument);
+}
+
+TEST(PaddingReport, SurvivalIsMonotone) {
+  const Graph g = make_torus2d(12, 12);
+  const MpxResult mpx = mpx_partition(g, {.beta = 0.3, .seed = 7});
+  const PaddingReport report = analyze_padding(g, mpx.clustering);
+  EXPECT_GE(report.min, 1);
+  for (std::size_t t = 1; t < report.survival.size(); ++t) {
+    EXPECT_LE(report.survival[t], report.survival[t - 1]);
+  }
+  // Everyone has pad >= 1 by definition.
+  if (!report.survival.empty()) {
+    EXPECT_DOUBLE_EQ(report.survival[0], 1.0);
+  }
+}
+
+TEST(PaddingReport, MpxPaddingTracksBeta) {
+  // MPX: Pr[pad(v) >= t] >= 1 - O(beta * t). Check at t = 2 with a
+  // generous constant across seeds.
+  const Graph g = make_torus2d(16, 16);
+  const double beta = 0.15;
+  Summary survival_at_2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const MpxResult mpx = mpx_partition(g, {.beta = beta, .seed = seed});
+    const PaddingReport report = analyze_padding(g, mpx.clustering);
+    survival_at_2.add(report.survival.size() >= 2 ? report.survival[1]
+                                                  : 1.0);
+  }
+  EXPECT_GE(survival_at_2.mean(), 1.0 - 4.0 * beta * 2);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,78 @@
+#include "decomposition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsnd {
+namespace {
+
+TEST(Clustering, StartsUnassigned) {
+  Clustering c(5);
+  EXPECT_EQ(c.num_vertices(), 5);
+  EXPECT_EQ(c.num_clusters(), 0);
+  EXPECT_EQ(c.num_colors(), 0);
+  EXPECT_FALSE(c.is_complete());
+  EXPECT_EQ(c.num_unassigned(), 5);
+  EXPECT_EQ(c.cluster_of(3), kNoCluster);
+}
+
+TEST(Clustering, AssignAndQuery) {
+  Clustering c(4);
+  const ClusterId a = c.add_cluster(0, 0);
+  const ClusterId b = c.add_cluster(2, 1);
+  c.assign(0, a);
+  c.assign(1, a);
+  c.assign(2, b);
+  c.assign(3, b);
+  EXPECT_TRUE(c.is_complete());
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_EQ(c.num_colors(), 2);
+  EXPECT_EQ(c.cluster_of(1), a);
+  EXPECT_EQ(c.center_of(b), 2);
+  EXPECT_EQ(c.color_of(a), 0);
+}
+
+TEST(Clustering, MembersGrouping) {
+  Clustering c(5);
+  const ClusterId a = c.add_cluster(0, 0);
+  const ClusterId b = c.add_cluster(4, 0);
+  c.assign(0, a);
+  c.assign(2, a);
+  c.assign(4, b);
+  const auto members = c.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[static_cast<std::size_t>(a)],
+            (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(members[static_cast<std::size_t>(b)],
+            (std::vector<VertexId>{4}));
+  EXPECT_EQ(c.cluster_sizes(),
+            (std::vector<VertexId>{2, 1}));
+}
+
+TEST(Clustering, DoubleAssignRejected) {
+  Clustering c(2);
+  const ClusterId a = c.add_cluster(0, 0);
+  c.assign(0, a);
+  EXPECT_THROW(c.assign(0, a), std::invalid_argument);
+}
+
+TEST(Clustering, RangeChecks) {
+  Clustering c(2);
+  EXPECT_THROW(c.add_cluster(5, 0), std::invalid_argument);
+  EXPECT_THROW(c.add_cluster(0, -1), std::invalid_argument);
+  const ClusterId a = c.add_cluster(0, 0);
+  EXPECT_THROW(c.assign(7, a), std::invalid_argument);
+  EXPECT_THROW(c.assign(1, 9), std::invalid_argument);
+  EXPECT_THROW(c.center_of(3), std::invalid_argument);
+  EXPECT_THROW(c.color_of(-1), std::invalid_argument);
+}
+
+TEST(Clustering, ColorsNeedNotBeContiguousPerCluster) {
+  Clustering c(3);
+  c.add_cluster(0, 5);
+  EXPECT_EQ(c.num_colors(), 6);  // colors 0..5 potentially in play
+}
+
+}  // namespace
+}  // namespace dsnd

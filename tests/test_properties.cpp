@@ -1,0 +1,52 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Properties, MaxAndAverageDegree) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(max_degree(g), 4);
+  EXPECT_DOUBLE_EQ(average_degree(g), 2.0 * 4 / 5);
+}
+
+TEST(Properties, AverageDegreeEmptyGraph) {
+  EXPECT_DOUBLE_EQ(average_degree(Graph()), 0.0);
+}
+
+TEST(Properties, BipartiteFamilies) {
+  EXPECT_TRUE(is_bipartite(make_path(10)));
+  EXPECT_TRUE(is_bipartite(make_grid2d(4, 6)));
+  EXPECT_TRUE(is_bipartite(make_cycle(8)));
+  EXPECT_FALSE(is_bipartite(make_cycle(7)));
+  EXPECT_FALSE(is_bipartite(make_complete(3)));
+  EXPECT_TRUE(is_bipartite(make_hypercube(5)));
+}
+
+TEST(Properties, BipartiteDisconnected) {
+  // Even cycle plus odd cycle: not bipartite overall.
+  GraphBuilder builder(9);
+  for (VertexId v = 0; v < 4; ++v) builder.add_edge(v, (v + 1) % 4);
+  for (VertexId v = 0; v < 5; ++v) builder.add_edge(4 + v, 4 + (v + 1) % 5);
+  EXPECT_FALSE(is_bipartite(std::move(builder).build()));
+}
+
+TEST(Properties, TriangleCount) {
+  EXPECT_EQ(triangle_count(make_complete(4)), 4);
+  EXPECT_EQ(triangle_count(make_complete(5)), 10);
+  EXPECT_EQ(triangle_count(make_cycle(5)), 0);
+  EXPECT_EQ(triangle_count(make_grid2d(3, 3)), 0);
+}
+
+TEST(Properties, DescribeMentionsKeyNumbers) {
+  const std::string text = describe(make_grid2d(3, 3));
+  EXPECT_NE(text.find("n=9"), std::string::npos);
+  EXPECT_NE(text.find("m=12"), std::string::npos);
+  EXPECT_NE(text.find("components=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,91 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dsnd {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256ss, DeterministicForSameSeed) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ss, ZeroSeedIsWellMixed) {
+  Xoshiro256ss rng(0);
+  // A poorly seeded xoshiro (all-zero state) would return 0 forever.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 60u);
+}
+
+TEST(StreamSeed, DistinctStreamsForDistinctInputs) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    for (std::uint64_t b = 0; b < 20; ++b) {
+      seeds.insert(stream_seed(123, a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);
+}
+
+TEST(StreamSeed, OrderOfComponentsMatters) {
+  EXPECT_NE(stream_seed(1, 2, 3), stream_seed(1, 3, 2));
+}
+
+TEST(UniformUnit, InHalfOpenInterval) {
+  Xoshiro256ss rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform_unit(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformUnit, MeanNearHalf) {
+  Xoshiro256ss rng(5);
+  double sum = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) sum += uniform_unit(rng);
+  EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(UniformBelow, RespectsBound) {
+  Xoshiro256ss rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(uniform_below(rng, bound), bound);
+    }
+  }
+}
+
+TEST(UniformBelow, CoversAllResidues) {
+  Xoshiro256ss rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[uniform_below(rng, 10)];
+  }
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,178 @@
+#include "simulator/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+/// Floods a token from vertex 0; records the round each vertex first saw
+/// it. Verifies synchronous one-hop-per-round semantics.
+class FloodProtocol final : public Protocol {
+ public:
+  void begin(const Graph& g) override {
+    seen_round_.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+    pending_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+    if (g.num_vertices() > 0) {
+      seen_round_[0] = 0;
+      pending_[0] = 1;
+    }
+    done_ = false;
+  }
+
+  void on_round(VertexId v, std::size_t round,
+                std::span<const Message> inbox, Outbox& out) override {
+    const auto vi = static_cast<std::size_t>(v);
+    if (seen_round_[vi] == -1 && !inbox.empty()) {
+      seen_round_[vi] = static_cast<std::int32_t>(round);
+      pending_[vi] = 1;
+    }
+    if (pending_[vi]) {
+      const std::uint64_t token[] = {1};
+      out.send_to_all_neighbors(token);
+      pending_[vi] = 0;
+    }
+    if (v == 0) {
+      done_ = true;
+      for (const std::int32_t r : seen_round_) {
+        if (r == -1) done_ = false;
+      }
+    }
+  }
+
+  bool finished() const override { return done_; }
+
+  const std::vector<std::int32_t>& seen_round() const { return seen_round_; }
+
+ private:
+  std::vector<std::int32_t> seen_round_;
+  std::vector<char> pending_;
+  bool done_ = false;
+};
+
+TEST(Simulator, FloodTakesDistanceRounds) {
+  const Graph g = make_path(6);
+  FloodProtocol protocol;
+  SyncEngine engine(g);
+  engine.run(protocol, 100);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(protocol.seen_round()[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Simulator, MetricsCountMessages) {
+  const Graph g = make_path(3);  // edges: 0-1, 1-2
+  FloodProtocol protocol;
+  SyncEngine engine(g);
+  const SimMetrics metrics = engine.run(protocol, 100);
+  // Round 0: v0 sends 1. Round 1: v1 sends 2. Round 2: v2 sends 1, and the
+  // finished() predicate fires after that round.
+  EXPECT_EQ(metrics.messages, 4u);
+  EXPECT_EQ(metrics.words, 4u);
+  EXPECT_EQ(metrics.max_message_words, 1u);
+  EXPECT_EQ(metrics.messages_per_round.size(), metrics.rounds);
+}
+
+TEST(Simulator, RoundCapStopsRun) {
+  const Graph g = make_path(50);
+  FloodProtocol protocol;
+  SyncEngine engine(g);
+  const SimMetrics metrics = engine.run(protocol, 5);
+  EXPECT_EQ(metrics.rounds, 5u);
+  EXPECT_EQ(protocol.seen_round()[10], -1);  // flood did not get there
+}
+
+/// A protocol that tries to message a non-neighbor.
+class IllegalSendProtocol final : public Protocol {
+ public:
+  void begin(const Graph&) override {}
+  void on_round(VertexId v, std::size_t, std::span<const Message>,
+                Outbox& out) override {
+    if (v == 0) out.send(2, {42});  // 0 and 2 are not adjacent in a path
+  }
+  bool finished() const override { return false; }
+};
+
+TEST(Simulator, RejectsSendToNonNeighbor) {
+  const Graph g = make_path(3);
+  IllegalSendProtocol protocol;
+  SyncEngine engine(g);
+  EXPECT_THROW(engine.run(protocol, 2), std::invalid_argument);
+}
+
+/// Ping-pong between two vertices; checks delivery latency of exactly one
+/// round and that from-fields are correct.
+class PingPongProtocol final : public Protocol {
+ public:
+  void begin(const Graph&) override {
+    received_.clear();
+    sent_first_ = false;
+  }
+
+  void on_round(VertexId v, std::size_t round, std::span<const Message> inbox,
+                Outbox& out) override {
+    if (v == 0 && round == 0 && !sent_first_) {
+      out.send(1, {100});
+      sent_first_ = true;
+    }
+    for (const Message& m : inbox) {
+      received_.push_back({v, static_cast<VertexId>(m.from),
+                           static_cast<std::int64_t>(round), m.words[0]});
+      if (m.words[0] < 103) out.send(m.from, {m.words[0] + 1});
+    }
+  }
+
+  bool finished() const override { return received_.size() >= 4; }
+
+  struct Event {
+    VertexId at;
+    VertexId from;
+    std::int64_t round;
+    std::uint64_t value;
+  };
+  const std::vector<Event>& received() const { return received_; }
+
+ private:
+  std::vector<Event> received_;
+  bool sent_first_ = false;
+};
+
+TEST(Simulator, PingPongAlternates) {
+  const Graph g = make_path(2);
+  PingPongProtocol protocol;
+  SyncEngine engine(g);
+  engine.run(protocol, 20);
+  const auto& events = protocol.received();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].at, 1);
+  EXPECT_EQ(events[0].from, 0);
+  EXPECT_EQ(events[0].round, 1);
+  EXPECT_EQ(events[0].value, 100u);
+  EXPECT_EQ(events[1].at, 0);
+  EXPECT_EQ(events[1].value, 101u);
+  EXPECT_EQ(events[3].value, 103u);
+}
+
+TEST(SimMetrics, RecordsWidthAndPerRound) {
+  SimMetrics metrics;
+  metrics.record_message(0, 3);
+  metrics.record_message(0, 5);
+  metrics.record_message(2, 1);
+  metrics.rounds = 3;
+  EXPECT_EQ(metrics.messages, 3u);
+  EXPECT_EQ(metrics.words, 9u);
+  EXPECT_EQ(metrics.max_message_words, 5u);
+  ASSERT_EQ(metrics.messages_per_round.size(), 3u);
+  EXPECT_EQ(metrics.messages_per_round[0], 2u);
+  EXPECT_EQ(metrics.messages_per_round[1], 0u);
+  EXPECT_EQ(metrics.messages_per_round[2], 1u);
+  EXPECT_DOUBLE_EQ(metrics.avg_messages_per_round(), 1.0);
+  EXPECT_NE(metrics.to_string().find("messages=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,111 @@
+#include "apps/spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/elkin_neiman.hpp"
+#include "decomposition/validation.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace dsnd {
+namespace {
+
+DecompositionRun decompose(const Graph& g, std::int32_t k,
+                           std::uint64_t seed) {
+  ElkinNeimanOptions options;
+  options.k = k;
+  options.seed = seed;
+  return elkin_neiman_decomposition(g, options);
+}
+
+TEST(MeasureStretch, IdentityAndTree) {
+  const Graph g = make_cycle(8);
+  EXPECT_EQ(measure_stretch(g, g), 1);
+  // Spanning tree of the cycle (drop one edge): stretch = n - 1.
+  const Graph tree = Graph::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}});
+  EXPECT_EQ(measure_stretch(g, tree), 7);
+}
+
+TEST(MeasureStretch, DisconnectedIsInfinite) {
+  const Graph g = make_path(3);
+  const Graph broken = Graph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(measure_stretch(g, broken), kInfiniteDiameter);
+}
+
+TEST(SpannerByDecomposition, StretchWithinBound) {
+  const std::int32_t k = 4;
+  for (const char* family : {"grid", "gnp-sparse", "cycle", "small-world"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      const Graph g = family_by_name(family).make(120, seed);
+      const DecompositionRun run = decompose(g, k, seed);
+      if (run.carve.radius_overflow) continue;
+      const SpannerResult spanner =
+          spanner_by_decomposition(g, run.clustering());
+      ASSERT_NE(spanner.stretch, kInfiniteDiameter)
+          << family << " seed=" << seed;
+      // Stretch <= 4k - 3: tree detour in both endpoint clusters plus
+      // the connecting edge.
+      EXPECT_LE(spanner.stretch, 4 * k - 3) << family << " seed=" << seed;
+      EXPECT_LE(spanner.edges, g.num_edges());
+    }
+  }
+}
+
+TEST(SpannerByDecomposition, SparsifiesDenseGraphs) {
+  const Graph g = make_gnp(128, 0.3, 7);
+  const DecompositionRun run = decompose(g, 4, 7);
+  const SpannerResult spanner = spanner_by_decomposition(g, run.clustering());
+  EXPECT_LT(spanner.edges, g.num_edges() / 2);
+}
+
+TEST(SpannerFromCover, StretchBoundedByClusterDiameter) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = make_gnp(100, 0.06, seed);
+    CoverOptions options;
+    options.radius = 1;
+    options.k = 3;
+    options.seed = seed;
+    const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+    if (cover.base.carve.radius_overflow) continue;
+    const SpannerResult spanner = spanner_from_cover(g, cover);
+    ASSERT_NE(spanner.stretch, kInfiniteDiameter);
+    // Every edge lies inside some cover cluster whose strong diameter is
+    // at most (2W+1)(2k-2)+2W = 3*(2k-2)+2.
+    EXPECT_LE(spanner.stretch, 3 * (2 * 3 - 2) + 2);
+    // Edge budget: at most sum of (cluster size - 1) <= chi * n.
+    EXPECT_LT(spanner.edges,
+              static_cast<std::int64_t>(cover.num_colors) *
+                  g.num_vertices());
+  }
+}
+
+TEST(SpannerFromCover, DenseGraphSparsification) {
+  const Graph g = make_gnp(96, 0.4, 11);
+  CoverOptions options;
+  options.radius = 1;
+  options.k = 3;
+  options.seed = 11;
+  const NeighborhoodCover cover = build_neighborhood_cover(g, options);
+  const SpannerResult spanner = spanner_from_cover(g, cover);
+  EXPECT_LT(spanner.edges, g.num_edges());
+  EXPECT_NE(spanner.stretch, kInfiniteDiameter);
+}
+
+TEST(Spanner, PreservesConnectivity) {
+  const Graph g = make_barbell(10, 4);
+  const DecompositionRun run = decompose(g, 3, 5);
+  const SpannerResult spanner = spanner_by_decomposition(g, run.clustering());
+  EXPECT_TRUE(is_connected(spanner.spanner));
+}
+
+TEST(Spanner, EdgelessGraph) {
+  const Graph g = Graph::from_edges(5, {});
+  const DecompositionRun run = decompose(g, 2, 1);
+  const SpannerResult spanner = spanner_by_decomposition(g, run.clustering());
+  EXPECT_EQ(spanner.edges, 0);
+  EXPECT_EQ(spanner.stretch, 0);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,80 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Subgraph, InducedOnPathSegment) {
+  const Graph g = make_path(6);
+  const VertexId pick[] = {1, 2, 3};
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_EQ(sub.parent_of(0), 1);
+  EXPECT_EQ(sub.parent_of(2), 3);
+}
+
+TEST(Subgraph, DropsCrossEdges) {
+  const Graph g = make_cycle(6);
+  const VertexId pick[] = {0, 2, 4};  // pairwise non-adjacent
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(Subgraph, PreservesInternalStructure) {
+  const Graph g = make_complete(6);
+  const VertexId pick[] = {1, 3, 5};
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_edges(), 3);  // triangle
+  EXPECT_EQ(exact_diameter(sub.graph), 1);
+}
+
+TEST(Subgraph, MappingIsSortedAndConsistent) {
+  const Graph g = make_grid2d(3, 3);
+  const VertexId pick[] = {8, 0, 4};
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  ASSERT_EQ(sub.to_parent.size(), 3u);
+  EXPECT_EQ(sub.to_parent[0], 0);
+  EXPECT_EQ(sub.to_parent[1], 4);
+  EXPECT_EQ(sub.to_parent[2], 8);
+}
+
+TEST(Subgraph, EdgePreservationAgainstParent) {
+  const Graph g = make_gnp(40, 0.2, 9);
+  std::vector<VertexId> pick;
+  for (VertexId v = 0; v < 20; ++v) pick.push_back(2 * v);
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  for (VertexId a = 0; a < sub.graph.num_vertices(); ++a) {
+    for (VertexId b = a + 1; b < sub.graph.num_vertices(); ++b) {
+      EXPECT_EQ(sub.graph.has_edge(a, b),
+                g.has_edge(sub.parent_of(a), sub.parent_of(b)));
+    }
+  }
+}
+
+TEST(Subgraph, RejectsDuplicates) {
+  const Graph g = make_path(4);
+  const VertexId pick[] = {1, 1};
+  EXPECT_THROW(induced_subgraph(g, pick), std::invalid_argument);
+}
+
+TEST(Subgraph, RejectsOutOfRange) {
+  const Graph g = make_path(4);
+  const VertexId pick[] = {0, 9};
+  EXPECT_THROW(induced_subgraph(g, pick), std::invalid_argument);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const Graph g = make_path(4);
+  const InducedSubgraph sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0);
+}
+
+}  // namespace
+}  // namespace dsnd

@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsnd {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("b").cell(22);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  // Rule lines above/below header and at the end.
+  EXPECT_GE(std::count(text.begin(), text.end(), '+'), 9);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.row().cell(1).cell(2.5, 1).cell("x");
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"v"});
+  t.row().cell(3.14159, 3);
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "v\n3.142\n");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("too many"), std::invalid_argument);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("no row yet"), std::invalid_argument);
+}
+
+TEST(Table, RejectsIncompletePreviousRow) {
+  Table t({"a", "b"});
+  t.row().cell("half");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(2.345, 1), "2.3");
+}
+
+}  // namespace
+}  // namespace dsnd

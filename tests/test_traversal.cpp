@@ -1,0 +1,143 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, FilteredRespectsAliveMask) {
+  // Path 0-1-2-3-4 with vertex 2 removed: 3 and 4 become unreachable.
+  const Graph g = make_path(5);
+  std::vector<char> alive = {1, 1, 0, 1, 1};
+  const auto dist = bfs_distances_filtered(g, 0, alive);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, FilteredRequiresAliveSource) {
+  const Graph g = make_path(3);
+  std::vector<char> alive = {0, 1, 1};
+  EXPECT_THROW(bfs_distances_filtered(g, 0, alive), std::invalid_argument);
+}
+
+TEST(Bfs, MultiSourceNearestDistance) {
+  const Graph g = make_path(7);
+  const VertexId sources[] = {0, 6};
+  const auto dist = multi_source_bfs(g, sources);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(ShortestPath, EndpointsAndLength) {
+  const Graph g = make_grid2d(3, 3);
+  const auto path = shortest_path(g, 0, 8);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  EXPECT_EQ(path.size(), 5u);  // distance 4
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+  }
+}
+
+TEST(ShortestPath, DisconnectedIsEmpty) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(shortest_path(g, 0, 3).empty());
+}
+
+TEST(ShortestPath, SelfIsSingleton) {
+  const Graph g = make_path(3);
+  const auto path = shortest_path(g, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1);
+}
+
+TEST(Components, CountsAndLabels) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+  EXPECT_NE(comps.component_of[3], comps.component_of[5]);
+  const auto groups = comps.groups();
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size() + groups[1].size() + groups[2].size(), 6u);
+}
+
+TEST(Components, ConnectedGraph) {
+  EXPECT_TRUE(is_connected(make_cycle(10)));
+  EXPECT_FALSE(is_connected(Graph::from_edges(3, {{0, 1}})));
+  EXPECT_TRUE(is_connected(Graph()));          // vacuous
+  EXPECT_TRUE(is_connected(make_path(1)));
+}
+
+TEST(Eccentricity, CenterVsLeafOfPath) {
+  const Graph g = make_path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4);
+  EXPECT_EQ(eccentricity(g, 0), 8);
+}
+
+TEST(Diameter, KnownGraphs) {
+  EXPECT_EQ(exact_diameter(make_path(10)), 9);
+  EXPECT_EQ(exact_diameter(make_cycle(10)), 5);
+  EXPECT_EQ(exact_diameter(make_complete(5)), 1);
+  EXPECT_EQ(exact_diameter(make_star(9)), 2);
+}
+
+TEST(Diameter, TwoSweepExactOnTrees) {
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    const Graph g = make_random_tree(80, seed);
+    EXPECT_EQ(two_sweep_diameter_lower_bound(g), exact_diameter(g));
+  }
+}
+
+TEST(Diameter, TwoSweepIsLowerBound) {
+  for (std::uint64_t seed : {2ULL, 4ULL}) {
+    const Graph g = make_gnp(120, 0.05, seed);
+    EXPECT_LE(two_sweep_diameter_lower_bound(g), exact_diameter(g));
+  }
+}
+
+TEST(AllPairs, MatchesSingleSource) {
+  const Graph g = make_grid2d(4, 4);
+  const auto all = all_pairs_distances(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(all[static_cast<std::size_t>(v)], bfs_distances(g, v));
+  }
+}
+
+TEST(AllPairs, SymmetricDistances) {
+  const Graph g = make_gnp(60, 0.1, 21);
+  const auto all = all_pairs_distances(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(all[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                all[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsnd
