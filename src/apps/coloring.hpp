@@ -1,5 +1,14 @@
 // (Delta+1) vertex coloring via a network decomposition — the second
 // symmetry-breaking application from the paper's introduction.
+//
+// Runs the decomposition_solver.hpp pipeline with a first-fit local
+// solver: color classes of the supergraph are processed in order; within
+// a class each cluster colors its vertices greedily, respecting the
+// frozen colors of already-processed neighbors outside the cluster.
+// First-fit never needs a color beyond the local degree, so the result
+// uses at most Delta+1 colors; with the paper's strong (O(log n),
+// O(log n)) decomposition the pipeline costs O(log^2 n) LOCAL rounds.
+// Properness is asserted by apps/checkers.hpp in tests and benches.
 #pragma once
 
 #include <cstdint>

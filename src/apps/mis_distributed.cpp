@@ -64,10 +64,9 @@ class MisPipelineProtocol final : public Protocol {
   void on_round(VertexId v, std::size_t round,
                 std::span<const Message> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
-    const auto class_index =
-        static_cast<std::int32_t>(round / rounds_per_class_);
-    const auto step =
-        static_cast<std::int32_t>(round % rounds_per_class_);
+    const auto per_class = static_cast<std::size_t>(rounds_per_class_);
+    const auto class_index = static_cast<std::int32_t>(round / per_class);
+    const auto step = static_cast<std::int32_t>(round % per_class);
     const ClusterId cluster = clustering_.cluster_of(v);
     const std::int32_t my_class = clustering_.color_of(cluster);
 

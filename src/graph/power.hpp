@@ -1,6 +1,10 @@
 // Graph powers: G^t connects u != v iff d_G(u, v) <= t. Needed by the
 // neighborhood-cover construction (decomposition/covers.hpp), which runs
-// the decomposition on G^{2W+1}.
+// the decomposition on G^{2W+1}: same-colored clusters of G^{2W+1} are
+// more than 2W+1 apart in G, so expanding each by W hops keeps them
+// disjoint while swallowing every ball B(v, W) — the cover property.
+// The power graph is materialized explicitly (not queried lazily)
+// because the carving algorithms want adjacency lists.
 #pragma once
 
 #include "graph/graph.hpp"

@@ -1,4 +1,11 @@
 // Cheap whole-graph properties used in reports and preconditions.
+//
+// These are O(n + m) (or clearly-marked worse) observational helpers: the
+// benches use them to describe the graph families they sweep, the
+// examples print describe() so users see what they decomposed, and tests
+// use is_bipartite/triangle_count as structural preconditions. Nothing
+// here feeds the decomposition algorithms themselves — the algorithmic
+// primitives (BFS, components, diameter) live in graph/traversal.hpp.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,12 @@
 // Induced subgraphs with an explicit index mapping back to the parent
 // graph. Used by the validators (strong diameter is defined on induced
 // subgraphs) and by the local solvers in apps/.
+//
+// The sub-vertices are renumbered to a compact 0..k-1 range so the
+// resulting Graph works with every algorithm in the library unchanged;
+// to_parent restores original ids when results are written back (the
+// decomposition_solver pipeline extracts each cluster, solves locally on
+// the compact graph, then maps the solution through to_parent).
 #pragma once
 
 #include <span>

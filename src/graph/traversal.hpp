@@ -1,6 +1,14 @@
 // BFS-based primitives: distances, components, eccentricity, diameter.
 // These are both algorithm building blocks (the centralized reference
 // implementations) and the ground truth for the decomposition validators.
+//
+// The filtered variant (bfs_distances_filtered) is the workhorse of the
+// carving algorithms: each phase runs on the *surviving* graph G_t, which
+// is represented as an alive-mask over the original graph rather than a
+// rebuilt subgraph, so a phase costs O(n + m) with no copying. The
+// unfiltered helpers back the validators (validation.hpp measures strong
+// diameter by BFS inside induced subgraphs) and the graph-power
+// construction (power.hpp).
 #pragma once
 
 #include <cstdint>

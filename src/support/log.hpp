@@ -1,5 +1,12 @@
 // Minimal leveled logger. Off by default so tests and benches stay quiet;
 // examples turn it on to narrate what the algorithms do.
+//
+// One global threshold (set_log_level), one sink (stderr), and the
+// DSND_LOG_{DEBUG,INFO,WARN,ERROR} stream macros: each builds its line in
+// a temporary and hands it to log_message at end of statement, which
+// drops it if the level is below the threshold. There is deliberately no timestamping or threading
+// support: the library is single-threaded per run and the simulated
+// round/phase counters are the meaningful "time" to print.
 #pragma once
 
 #include <sstream>

@@ -1,6 +1,13 @@
 // Summary statistics used by the experiment harnesses: streaming
 // mean/variance (Welford), min/max, and exact quantiles over stored
 // samples.
+//
+// The benches aggregate per-seed measurements (diameters, colors,
+// rounds) with Summary before printing measured-vs-bound tables, so the
+// accumulator must be exact on counts and numerically stable on means —
+// hence Welford's algorithm rather than naive sum-of-squares. Quantiles
+// store their samples and sort on demand; they are for offline reporting,
+// not hot paths.
 #pragma once
 
 #include <cstddef>

@@ -1,4 +1,10 @@
 // Wall-clock timer for the experiment harnesses.
+//
+// Steady-clock stopwatch: construction starts it, reset() restarts it,
+// elapsed_seconds()/elapsed_millis() read without stopping. The benches
+// time whole decomposition runs with it; it is deliberately not used for
+// the simulated round counts (those are logical, counted by SyncEngine
+// and CarveResult::rounds, and must not depend on the host machine).
 #pragma once
 
 #include <chrono>
