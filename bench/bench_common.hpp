@@ -2,16 +2,29 @@
 // Each binary prints the tables promised by the experiment index in
 // DESIGN.md. Setting DSND_BENCH_SCALE=N (integer, default 1) multiplies
 // problem sizes/seed counts for longer, higher-confidence runs.
+//
+// Machine-readable output: every bench that constructs a JsonWriter
+// accepts `--json <path>` and then also writes its results as a JSON
+// array of flat records — the format BENCH_*.json perf-trajectory files
+// are built from.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "decomposition/elkin_neiman_distributed.hpp"
 #include "decomposition/validation.hpp"
 #include "graph/generators.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace dsnd::bench {
 
@@ -38,6 +51,135 @@ inline const std::vector<std::string>& default_families() {
   static const std::vector<std::string> kNames = {"gnp-sparse", "grid",
                                                   "random-tree"};
   return kNames;
+}
+
+/// Returns true iff `flag` appears verbatim in argv.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Collects flat records and writes them as a JSON array on flush().
+/// Construct via from_args: inactive (records discarded) unless the
+/// bench was invoked with `--json <path>`.
+class JsonWriter {
+ public:
+  /// One flat JSON object; values are rendered as they are added.
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& value) {
+      std::string escaped;
+      for (const char c : value) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        escaped.push_back(c);
+      }
+      entries_.emplace_back(key, '"' + escaped + '"');
+      return *this;
+    }
+
+    Record& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+
+    Record& field(const std::string& key, double value) {
+      std::ostringstream out;
+      out.precision(6);
+      out << std::fixed << value;
+      entries_.emplace_back(key, out.str());
+      return *this;
+    }
+
+    template <typename T,
+              typename std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    Record& field(const std::string& key, T value) {
+      entries_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+
+   private:
+    friend class JsonWriter;
+    std::vector<std::pair<std::string, std::string>> entries_;
+  };
+
+  static JsonWriter from_args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return JsonWriter(argv[i + 1]);
+    }
+    return JsonWriter("");
+  }
+
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  Record& record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes all records; called automatically at destruction.
+  void flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << "  {";
+      const auto& entries = records_[r].entries_;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        out << '"' << entries[e].first << "\": " << entries[e].second;
+        if (e + 1 < entries.size()) out << ", ";
+      }
+      out << (r + 1 < records_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    std::cout << "\nwrote " << records_.size() << " JSON records to "
+              << path_ << "\n";
+  }
+
+  ~JsonWriter() { flush(); }
+
+ private:
+  std::string path_;
+  std::deque<Record> records_;  // deque: record() references stay valid
+  bool flushed_ = false;
+};
+
+/// Shared engine-scaling measurement (bench_congest E8d and
+/// bench_headline_scaling E4c): runs the Theorem 1 CONGEST protocol with
+/// k = ceil(ln n), seed 42 on `g`, appends one table row and one JSON
+/// record, and returns the wall time in ms. Graph construction is
+/// excluded from the timing. The columns for the table are
+/// {family, n, m, rounds, messages, words, activations, wall_ms}.
+inline double engine_scaling_case(const std::string& family, const Graph& g,
+                                  Table& table, JsonWriter& json) {
+  ElkinNeimanOptions options;  // k = 0 -> ceil(ln n)
+  options.seed = 42;
+  Timer timer;
+  const DistributedRun run = elkin_neiman_distributed(g, options);
+  const double wall_ms = timer.elapsed_millis();
+  table.row()
+      .cell(family)
+      .cell(static_cast<std::int64_t>(g.num_vertices()))
+      .cell(g.num_edges())
+      .cell(static_cast<std::uint64_t>(run.sim.rounds))
+      .cell(run.sim.messages)
+      .cell(run.sim.words)
+      .cell(run.sim.vertex_activations)
+      .cell(wall_ms, 1);
+  json.record()
+      .field("section", "engine_scaling")
+      .field("family", family)
+      .field("n", static_cast<std::int64_t>(g.num_vertices()))
+      .field("m", g.num_edges())
+      .field("rounds", static_cast<std::uint64_t>(run.sim.rounds))
+      .field("messages", run.sim.messages)
+      .field("words", run.sim.words)
+      .field("activations", run.sim.vertex_activations)
+      .field("wall_ms", wall_ms);
+  return wall_ms;
 }
 
 }  // namespace dsnd::bench

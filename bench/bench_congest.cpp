@@ -122,10 +122,33 @@ void protocol_comparison(int seeds) {
   t23.print(std::cout);
 }
 
+/// Third table: wall-clock of the full distributed run at n = 100k on
+/// three families — the arena engine's headline numbers (tracked over
+/// time in BENCH_engine.json; regenerate with `--json`). The ring is the
+/// active-scheduling showcase: in most rounds almost every vertex is
+/// quiet, so activations stay far below n * rounds.
+void engine_wall_clock(bench::JsonWriter& json) {
+  bench::print_header(
+      "E8d / arena engine wall-clock at n = 100k",
+      "wall time of the full distributed Theorem 1 run (graph "
+      "construction excluded); activations = on_round calls the "
+      "active-vertex scheduler actually made (vs n * rounds without it)");
+  Table table({"family", "n", "m", "rounds", "messages", "words",
+               "activations", "wall_ms"});
+  const VertexId n = 100000;
+  bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+                             table, json);
+  bench::engine_scaling_case("ring", make_cycle(n), table, json);
+  bench::engine_scaling_case("rgg-deg8", family_by_name("rgg").make(n, 1),
+                             table, json);
+  table.print(std::cout);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsnd;
+  bench::JsonWriter json = bench::JsonWriter::from_args(argc, argv);
   bench::print_header(
       "E8 / CONGEST accounting of the distributed protocol",
       "claim: every message is O(1) words (here <= 4: tag, center, "
@@ -185,5 +208,6 @@ int main() {
                "below the 4 (two directions x top-2) worst case.\n";
 
   protocol_comparison(4 * bench::scale());
+  engine_wall_clock(json);
   return 0;
 }

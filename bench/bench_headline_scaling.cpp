@@ -11,8 +11,53 @@
 #include "decomposition/elkin_neiman.hpp"
 #include "support/stats.hpp"
 
-int main() {
+namespace {
+
+using namespace dsnd;
+
+/// E4c — the distributed engine at scale: wall-clock of the full
+/// Theorem 1 CONGEST run on the arena engine. `--engine-smoke` runs only
+/// this section with the large instances (the CI perf-smoke entry point,
+/// and how BENCH_engine.json "after" records are produced with --json);
+/// the default bench run keeps the quicker sizes.
+void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke) {
+  bench::print_header(
+      "E4c / distributed engine scaling (k = ceil(ln n))",
+      "wall time of the full message-passing execution; the arena "
+      "engine's zero-allocation rounds and active-vertex scheduling are "
+      "what make the 100k-1M instances routine");
+  Table table({"family", "n", "m", "rounds", "messages", "words",
+               "activations", "wall_ms"});
+  std::vector<VertexId> sizes = smoke ? std::vector<VertexId>{100000}
+                                      : std::vector<VertexId>{10000, 100000};
+  for (const VertexId n : sizes) {
+    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+                               table, json);
+    bench::engine_scaling_case("ring", make_cycle(n), table, json);
+    bench::engine_scaling_case("rgg-deg8", family_by_name("rgg").make(n, 1),
+                               table, json);
+  }
+  if (smoke || bench::scale() >= 2) {
+    // The million-vertex instances: a ring (worst case for per-round
+    // sweeps — long quiet phases) and an RGG (KaGen-style geometric
+    // instance).
+    bench::engine_scaling_case("ring", make_cycle(1000000), table, json);
+    bench::engine_scaling_case("rgg-deg8",
+                               family_by_name("rgg").make(1000000, 1),
+                               table, json);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dsnd;
+  bench::JsonWriter json = bench::JsonWriter::from_args(argc, argv);
+  if (bench::has_flag(argc, argv, "--engine-smoke")) {
+    engine_scaling(json, /*smoke=*/true);
+    return 0;
+  }
   bench::print_header(
       "E4 / headline scaling (k = ceil(ln n))",
       "claim: strong (O(log n), O(log n)) decomposition in O(log^2 n) "
@@ -74,5 +119,7 @@ int main() {
   table.print(std::cout);
   std::cout << "\nThe rounds/ln^2(n) column should hover around a constant "
                "— the O(log^2 n) claim.\n";
+
+  engine_scaling(json, /*smoke=*/false);
   return 0;
 }

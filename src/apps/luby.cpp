@@ -1,9 +1,11 @@
 #include "apps/luby.hpp"
 
+#include <atomic>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
+#include "support/atomics.hpp"
 #include "support/rng.hpp"
 
 namespace dsnd {
@@ -29,17 +31,14 @@ class LubyProtocol final : public Protocol {
   }
 
   void on_round(VertexId v, std::size_t round,
-                std::span<const Message> inbox, Outbox& out) override {
+                std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     const auto step = static_cast<std::int32_t>(round % 3);
     const auto iteration = static_cast<std::int32_t>(round / 3);
 
     if (step == 0) {
       if (state_[vi] != NodeState::kUndecided) return;
-      if (phase_counter_ <= iteration) {
-        phase_counter_ = iteration + 1;
-        iterations_ = phase_counter_;
-      }
+      atomic_max(iterations_, iteration + 1);
       // Fresh random priority per iteration; ties broken by vertex id in
       // the comparison, so reuse across vertices is harmless.
       Xoshiro256ss rng(stream_seed(
@@ -47,8 +46,10 @@ class LubyProtocol final : public Protocol {
           static_cast<std::uint64_t>(v) + 1));
       priority_[vi] = rng();
       out.send_to_all_neighbors(
-          std::vector<std::uint64_t>{kTagPriority, priority_[vi],
-                                     static_cast<std::uint64_t>(v)});
+          {kTagPriority, priority_[vi], static_cast<std::uint64_t>(v)});
+      // The decision step must run even when no neighbor priority
+      // arrives (isolated vertex, or all neighbors already decided).
+      out.wake_self_in(1);
       return;
     }
 
@@ -56,7 +57,7 @@ class LubyProtocol final : public Protocol {
       if (state_[vi] != NodeState::kUndecided) return;
       // Local maximum among undecided neighbors joins the MIS.
       bool wins = true;
-      for (const Message& msg : inbox) {
+      for (const MessageView& msg : inbox) {
         if (msg.words.empty() || msg.words[0] != kTagPriority) continue;
         const std::uint64_t their_priority = msg.words[1];
         const auto their_id = static_cast<VertexId>(msg.words[2]);
@@ -68,8 +69,13 @@ class LubyProtocol final : public Protocol {
       }
       if (wins) {
         state_[vi] = NodeState::kIn;
-        --undecided_;
-        out.send_to_all_neighbors(std::vector<std::uint64_t>{kTagIn});
+        undecided_.fetch_sub(1, std::memory_order_relaxed);
+        out.send_to_all_neighbors({kTagIn});
+      } else {
+        // Still undecided: resample at the next iteration's step 0
+        // (a kTagIn from a neighbor may decide this vertex at step 2
+        // first; the stale wake is then a no-op).
+        out.wake_self_in(2);
       }
       return;
     }
@@ -79,16 +85,18 @@ class LubyProtocol final : public Protocol {
     // notification is needed for the next iteration's comparison.
     (void)out;
     if (state_[vi] != NodeState::kUndecided) return;
-    for (const Message& msg : inbox) {
+    for (const MessageView& msg : inbox) {
       if (!msg.words.empty() && msg.words[0] == kTagIn) {
         state_[vi] = NodeState::kOut;
-        --undecided_;
+        undecided_.fetch_sub(1, std::memory_order_relaxed);
         return;
       }
     }
   }
 
-  bool finished() const override { return undecided_ == 0; }
+  bool finished() const override {
+    return undecided_.load(std::memory_order_relaxed) == 0;
+  }
 
   std::vector<char> in_mis() const {
     std::vector<char> result(state_.size(), 0);
@@ -98,16 +106,18 @@ class LubyProtocol final : public Protocol {
     return result;
   }
 
-  std::int32_t iterations() const { return iterations_; }
+  std::int32_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
 
  private:
   const std::uint64_t seed_;
   const Graph* graph_ = nullptr;
   std::vector<NodeState> state_;
   std::vector<std::uint64_t> priority_;
-  VertexId undecided_ = 0;
-  std::int32_t iterations_ = 0;
-  std::int32_t phase_counter_ = 0;
+  // Shared monotone aggregates; atomic so parallel rounds are race-free.
+  std::atomic<VertexId> undecided_{0};
+  std::atomic<std::int32_t> iterations_{0};
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "apps/mis_distributed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
 
@@ -16,6 +17,13 @@ constexpr std::uint64_t kTagTree = 1;      // [tag, cluster]
 constexpr std::uint64_t kTagGather = 2;    // [tag, n, records...]
 constexpr std::uint64_t kTagDecide = 3;    // [tag, n, (vertex, in)...]
 constexpr std::uint64_t kTagAnnounce = 4;  // [tag, in]
+
+/// An owned copy of a decision broadcast buffered for relaying next
+/// round (MessageView payloads only live for one on_round call).
+struct StoredDecision {
+  VertexId from = -1;
+  std::vector<std::uint64_t> words;
+};
 
 /// One vertex's contribution to the convergecast: id, external-block
 /// flag, then its same-cluster neighbor list.
@@ -61,8 +69,13 @@ class MisPipelineProtocol final : public Protocol {
     }
   }
 
+  /// The pipeline is time-driven: vertices act at fixed steps of their
+  /// class window (seed/convergecast/solve/downcast/announce) with
+  /// possibly empty inboxes, so it opts out of active scheduling.
+  bool needs_spontaneous_rounds() const override { return true; }
+
   void on_round(VertexId v, std::size_t round,
-                std::span<const Message> inbox, Outbox& out) override {
+                std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     const auto per_class = static_cast<std::size_t>(rounds_per_class_);
     const auto class_index = static_cast<std::int32_t>(round / per_class);
@@ -73,7 +86,7 @@ class MisPipelineProtocol final : public Protocol {
     // Bookkeeping that applies regardless of the active class: frozen
     // decisions announced by neighbors, tree adoption, buffered
     // convergecast payloads.
-    for (const Message& msg : inbox) {
+    for (const MessageView& msg : inbox) {
       if (msg.words.empty()) continue;
       switch (msg.words[0]) {
         case kTagAnnounce:
@@ -105,7 +118,8 @@ class MisPipelineProtocol final : public Protocol {
               decide(vi, msg.words[i + 1] != 0);
             }
           }
-          relay_decisions_[vi] = Message{msg.from, msg.words};
+          relay_decisions_[vi] = StoredDecision{
+              msg.from, {msg.words.begin(), msg.words.end()}};
           break;
         default:
           DSND_CHECK(false, "unknown pipeline message tag");
@@ -143,7 +157,7 @@ class MisPipelineProtocol final : public Protocol {
       }
       words[1] = 1 + pending_records_[vi].size();
       pending_records_[vi].clear();
-      out.send(parent_[vi], std::move(words));
+      out.send(parent_[vi], words);
       return;
     }
 
@@ -174,7 +188,7 @@ class MisPipelineProtocol final : public Protocol {
       decide(vi, solution.at(v));
       for (const VertexId w : graph_->neighbors(v)) {
         if (clustering_.cluster_of(w) == cluster) {
-          out.send(w, std::vector<std::uint64_t>(words));
+          out.send(w, words);
         }
       }
       return;
@@ -184,8 +198,7 @@ class MisPipelineProtocol final : public Protocol {
     if (step > 2 * k_ && step < 3 * k_ && relay_decisions_[vi]) {
       for (const VertexId w : graph_->neighbors(v)) {
         if (clustering_.cluster_of(w) == cluster && w != parent_[vi]) {
-          out.send(w,
-                   std::vector<std::uint64_t>(relay_decisions_[vi]->words));
+          out.send(w, relay_decisions_[vi]->words);
         }
       }
       relay_decisions_[vi].reset();
@@ -197,17 +210,20 @@ class MisPipelineProtocol final : public Protocol {
     if (step == 3 * k_) {
       DSND_CHECK(decided_[vi], "vertex missed its cluster's decision");
       out.send_to_all_neighbors(
-          std::vector<std::uint64_t>{kTagAnnounce,
-                                     in_mis_[vi] ? 1ULL : 0ULL});
+          {kTagAnnounce, in_mis_[vi] ? 1ULL : 0ULL});
     }
   }
 
-  bool finished() const override { return undecided_ == 0; }
+  bool finished() const override {
+    return undecided_.load(std::memory_order_relaxed) == 0;
+  }
 
   std::vector<char> in_mis() const { return in_mis_; }
   std::int32_t rounds_per_class() const { return rounds_per_class_; }
   std::int32_t classes() const { return classes_; }
-  VertexId undecided() const { return undecided_; }
+  VertexId undecided() const {
+    return undecided_.load(std::memory_order_relaxed);
+  }
 
  private:
   GatherRecord make_own_record(VertexId v) const {
@@ -227,7 +243,7 @@ class MisPipelineProtocol final : public Protocol {
     if (decided_[vi]) return;
     decided_[vi] = 1;
     in_mis_[vi] = in ? 1 : 0;
-    --undecided_;
+    undecided_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   const Clustering& clustering_;
@@ -242,15 +258,17 @@ class MisPipelineProtocol final : public Protocol {
   std::vector<char> in_mis_;
   std::vector<char> neighbor_in_mis_;
   std::vector<std::vector<GatherRecord>> pending_records_;
-  std::vector<std::optional<Message>> relay_decisions_;
-  VertexId undecided_ = 0;
+  std::vector<std::optional<StoredDecision>> relay_decisions_;
+  // Atomic so parallel rounds are race-free (decide() touches only the
+  // deciding vertex's state plus this counter).
+  std::atomic<VertexId> undecided_{0};
 };
 
 }  // namespace
 
-DistributedMisResult mis_distributed_pipeline(const Graph& g,
-                                              const Clustering& clustering,
-                                              std::int32_t k) {
+DistributedMisResult mis_distributed_pipeline(
+    const Graph& g, const Clustering& clustering, std::int32_t k,
+    const EngineOptions& engine_options) {
   DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
                "clustering does not match graph");
   DSND_REQUIRE(clustering.is_complete(),
@@ -260,7 +278,7 @@ DistributedMisResult mis_distributed_pipeline(const Graph& g,
                "pipeline requires a proper phase coloring");
 
   MisPipelineProtocol protocol(clustering, k);
-  SyncEngine engine(g);
+  SyncEngine engine(g, engine_options);
   const std::size_t max_rounds =
       static_cast<std::size_t>(protocol.classes()) *
       static_cast<std::size_t>(protocol.rounds_per_class());

@@ -23,6 +23,7 @@
 
 #include "decomposition/partition.hpp"
 #include "graph/graph.hpp"
+#include "simulator/engine.hpp"
 #include "simulator/metrics.hpp"
 
 namespace dsnd {
@@ -38,9 +39,11 @@ struct DistributedMisResult {
 /// Runs the pipeline over a decomposition whose clusters have strong
 /// radius (distance center -> member inside the cluster) at most k - 1,
 /// which is what the Elkin–Neiman algorithms guarantee for parameter k.
-/// Clusters must be connected and contain their centers.
-DistributedMisResult mis_distributed_pipeline(const Graph& g,
-                                              const Clustering& clustering,
-                                              std::int32_t k);
+/// Clusters must be connected and contain their centers. The pipeline is
+/// time-driven, so it opts out of active scheduling; engine_options can
+/// still enable parallel rounds.
+DistributedMisResult mis_distributed_pipeline(
+    const Graph& g, const Clustering& clustering, std::int32_t k,
+    const EngineOptions& engine_options = {});
 
 }  // namespace dsnd

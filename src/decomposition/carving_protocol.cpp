@@ -1,11 +1,13 @@
 #include "decomposition/carving_protocol.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
+#include "support/atomics.hpp"
 
 namespace dsnd {
 
@@ -42,7 +44,7 @@ class CarvingProtocol final : public Protocol {
   }
 
   void on_round(VertexId v, std::size_t round,
-                std::span<const Message> inbox, Outbox& out) override {
+                std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     if (!alive_[vi]) return;
     const auto phase_len =
@@ -53,23 +55,28 @@ class CarvingProtocol final : public Protocol {
     if (step == 0) {
       // Instrumentation only: the first live vertex to reach a phase
       // advances the global counter.
-      if (phases_used_ <= phase) phases_used_ = phase + 1;
+      atomic_max(phases_used_, phase + 1);
       const double beta =
           phase < static_cast<std::int32_t>(params_.betas.size())
               ? params_.betas[static_cast<std::size_t>(phase)]
               : params_.betas.back();
       const double r = carve_radius_sample(params_.seed, phase, v, beta);
-      if (r >= params_.radius_overflow_at) radius_overflow_ = true;
-      if (r > max_sampled_radius_) max_sampled_radius_ = r;
+      if (r >= params_.radius_overflow_at) {
+        radius_overflow_.store(true, std::memory_order_relaxed);
+      }
+      atomic_max(max_sampled_radius_, r);
       best_[vi] = CarveEntry{r, 0, v};
       second_[vi] = CarveEntry{};
       sent_best_[vi] = CarveEntry{};
       sent_second_[vi] = CarveEntry{};
       send_changed(v, out);
+      // The quiet broadcast steps run on inbox arrivals only; the
+      // deciding step must run even with an empty inbox.
+      out.wake_self_in(static_cast<std::size_t>(params_.phase_rounds));
       return;
     }
 
-    for (const Message& msg : inbox) {
+    for (const MessageView& msg : inbox) {
       if (msg.words.empty() || msg.words[0] != kTagEntry) continue;
       DSND_CHECK(msg.words.size() == 4, "malformed entry message");
       CarveEntry entry;
@@ -89,51 +96,71 @@ class CarvingProtocol final : public Protocol {
       chosen_center_[vi] = best_[vi].center;
       chosen_phase_[vi] = phase;
       alive_[vi] = 0;
-      --remaining_;
-      const std::uint64_t words[] = {kTagLeave};
-      out.send_to_all_neighbors(words);
+      remaining_.fetch_sub(1, std::memory_order_relaxed);
+      out.send_to_all_neighbors({kTagLeave});
+    } else {
+      // Survivors sample again at the next phase's step 0.
+      out.wake_self_in(1);
     }
   }
 
-  bool finished() const override { return remaining_ == 0; }
+  bool finished() const override {
+    return remaining_.load(std::memory_order_relaxed) == 0;
+  }
 
   CarveResult build_result() const {
     CarveResult result;
     const auto n = static_cast<std::size_t>(graph_->num_vertices());
+    const std::int32_t phases_used =
+        phases_used_.load(std::memory_order_relaxed);
     result.clustering = Clustering(graph_->num_vertices());
     result.target_phases = static_cast<std::int32_t>(params_.betas.size());
-    result.phases_used = phases_used_;
+    result.phases_used = phases_used;
     result.exhausted_within_target =
-        remaining_ == 0 && phases_used_ <= result.target_phases;
-    result.radius_overflow = radius_overflow_;
-    result.max_sampled_radius = max_sampled_radius_;
-    result.rounds = static_cast<std::int64_t>(phases_used_) *
+        remaining_.load(std::memory_order_relaxed) == 0 &&
+        phases_used <= result.target_phases;
+    result.radius_overflow = radius_overflow_.load(std::memory_order_relaxed);
+    result.max_sampled_radius =
+        max_sampled_radius_.load(std::memory_order_relaxed);
+    result.rounds = static_cast<std::int64_t>(phases_used) *
                     (static_cast<std::int64_t>(params_.phase_rounds) + 1);
 
     result.carved_per_phase.assign(
-        static_cast<std::size_t>(phases_used_), 0);
+        static_cast<std::size_t>(phases_used), 0);
     // Clusters in the same deterministic order as carve_decomposition:
-    // by phase, then by member vertex id at first appearance.
+    // by phase, then by member vertex id at first appearance. One pass
+    // buckets the vertices per phase (vertex order preserved) so the
+    // total cost is O(n + phases) instead of O(n * phases).
+    std::vector<std::vector<VertexId>> members_per_phase(
+        static_cast<std::size_t>(phases_used));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (chosen_phase_[v] >= 0) {
+        members_per_phase[static_cast<std::size_t>(chosen_phase_[v])]
+            .push_back(static_cast<VertexId>(v));
+      }
+    }
     std::vector<ClusterId> cluster_of_center(n, kNoCluster);
-    for (std::int32_t phase = 0; phase < phases_used_; ++phase) {
-      for (std::size_t v = 0; v < n; ++v) {
-        if (chosen_phase_[v] != phase) continue;
+    for (std::int32_t phase = 0; phase < phases_used; ++phase) {
+      for (const VertexId v : members_per_phase[static_cast<std::size_t>(
+               phase)]) {
         ++result.carved_per_phase[static_cast<std::size_t>(phase)];
-        const auto center = static_cast<std::size_t>(chosen_center_[v]);
+        const auto center =
+            static_cast<std::size_t>(chosen_center_[static_cast<std::size_t>(v)]);
         if (cluster_of_center[center] == kNoCluster ||
             result.clustering.color_of(cluster_of_center[center]) !=
                 phase) {
           cluster_of_center[center] = result.clustering.add_cluster(
               static_cast<VertexId>(center), phase);
         }
-        result.clustering.assign(static_cast<VertexId>(v),
-                                 cluster_of_center[center]);
+        result.clustering.assign(v, cluster_of_center[center]);
       }
     }
     return result;
   }
 
-  VertexId remaining() const { return remaining_; }
+  VertexId remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
 
  private:
   void merge(std::size_t vi, const CarveEntry& entry) {
@@ -163,7 +190,7 @@ class CarvingProtocol final : public Protocol {
   /// (receivers merge idempotently, so one transmission suffices).
   void send_changed(VertexId v, Outbox& out) {
     const auto vi = static_cast<std::size_t>(v);
-    for (CarveEntry* entry : {&best_[vi], &second_[vi]}) {
+    for (const CarveEntry* entry : {&best_[vi], &second_[vi]}) {
       if (!entry->valid()) continue;
       if (same_entry(*entry, sent_best_[vi]) ||
           same_entry(*entry, sent_second_[vi])) {
@@ -173,20 +200,22 @@ class CarvingProtocol final : public Protocol {
       const bool in_range =
           static_cast<double>(next_dist) <= std::floor(entry->radius);
       if (in_range) {
-        for (VertexId w : graph_->neighbors(v)) {
-          // Dead neighbors discard silently; a vertex does not learn
-          // which neighbor left, only that someone did.
-          out.send(w,
-                   {kTagEntry, static_cast<std::uint64_t>(entry->center),
-                    pack_double(entry->radius),
-                    static_cast<std::uint64_t>(next_dist)});
-        }
+        // Dead neighbors discard silently; a vertex does not learn
+        // which neighbor left, only that someone did.
+        out.send_to_all_neighbors(
+            {kTagEntry, static_cast<std::uint64_t>(entry->center),
+             pack_double(entry->radius),
+             static_cast<std::uint64_t>(next_dist)});
       }
-      // Mark transmitted (or skipped-as-out-of-range) so the same entry
-      // is never reconsidered.
-      sent_second_[vi] = sent_best_[vi];
-      sent_best_[vi] = *entry;
     }
+    // Mirror the whole top-2 so an entry (transmitted, or skipped as out
+    // of range) is never reconsidered while it stays in the top-2. The
+    // mirror must hold both slots at once: remembering only the last two
+    // *transmissions* can evict a still-current entry and trigger a
+    // redundant rebroadcast on a later quiet step, which would also make
+    // message counts depend on which quiet rounds the vertex runs in.
+    sent_best_[vi] = best_[vi];
+    sent_second_[vi] = second_[vi];
   }
 
   const CarveParams params_;
@@ -198,16 +227,19 @@ class CarvingProtocol final : public Protocol {
   std::vector<CarveEntry> sent_second_;
   std::vector<VertexId> chosen_center_;
   std::vector<std::int32_t> chosen_phase_;
-  VertexId remaining_ = 0;
-  bool radius_overflow_ = false;
-  double max_sampled_radius_ = 0.0;
-  std::int32_t phases_used_ = 0;
+  // Shared aggregates, atomic so parallel rounds stay race-free; all are
+  // monotone, so relaxed ordering cannot change any outcome.
+  std::atomic<VertexId> remaining_{0};
+  std::atomic<bool> radius_overflow_{false};
+  std::atomic<double> max_sampled_radius_{0.0};
+  std::atomic<std::int32_t> phases_used_{0};
 };
 
 }  // namespace
 
 DistributedCarveResult carve_decomposition_distributed(
-    const Graph& g, const CarveParams& params) {
+    const Graph& g, const CarveParams& params,
+    const EngineOptions& engine_options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
   DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
@@ -219,7 +251,7 @@ DistributedCarveResult carve_decomposition_distributed(
                "the distributed protocol always carves to completion");
 
   CarvingProtocol protocol(params);
-  SyncEngine engine(g);
+  SyncEngine engine(g, engine_options);
   const std::size_t max_rounds =
       (params.betas.size() * 8 + static_cast<std::size_t>(g.num_vertices()) +
        64) *

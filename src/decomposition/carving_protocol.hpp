@@ -22,6 +22,7 @@
 #include "decomposition/carving.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/graph.hpp"
+#include "simulator/engine.hpp"
 #include "simulator/metrics.hpp"
 
 namespace dsnd {
@@ -34,9 +35,11 @@ struct DistributedCarveResult {
 /// Runs the carving schedule as a distributed protocol on the synchronous
 /// simulator. params.margin must be 1 (the paper's rule); the schedule,
 /// phase length, overflow threshold, and completion semantics match
-/// carve_decomposition exactly.
+/// carve_decomposition exactly. engine_options tunes the simulator
+/// (scheduling, threads); the clustering is identical for every setting.
 DistributedCarveResult carve_decomposition_distributed(
-    const Graph& g, const CarveParams& params);
+    const Graph& g, const CarveParams& params,
+    const EngineOptions& engine_options = {});
 
 /// Largest message the protocol emits, in 64-bit words.
 inline constexpr std::size_t kCarveProtocolMaxWords = 4;

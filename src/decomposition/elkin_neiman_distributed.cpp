@@ -12,8 +12,10 @@ namespace {
 /// the theorem bounds.
 DistributedRun run_distributed(const Graph& g, const CarveParams& params,
                                double k, double c,
-                               const TheoremBounds& bounds) {
-  DistributedCarveResult result = carve_decomposition_distributed(g, params);
+                               const TheoremBounds& bounds,
+                               const EngineOptions& engine_options) {
+  DistributedCarveResult result =
+      carve_decomposition_distributed(g, params, engine_options);
   DistributedRun run;
   run.sim = result.sim;
   run.run.carve = std::move(result.carve);
@@ -26,7 +28,8 @@ DistributedRun run_distributed(const Graph& g, const CarveParams& params,
 }  // namespace
 
 DistributedRun elkin_neiman_distributed(const Graph& g,
-                                        const ElkinNeimanOptions& options) {
+                                        const ElkinNeimanOptions& options,
+                                        const EngineOptions& engine_options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(options.margin == 1.0,
                "the distributed protocol implements the paper's margin of 1");
@@ -50,11 +53,12 @@ DistributedRun elkin_neiman_distributed(const Graph& g,
   bounds.rounds = static_cast<double>(k) * static_cast<double>(lambda);
   bounds.success_probability = 1.0 - 3.0 / options.c;
   return run_distributed(g, params, static_cast<double>(k), options.c,
-                         bounds);
+                         bounds, engine_options);
 }
 
 DistributedRun multistage_distributed(const Graph& g,
-                                      const MultistageOptions& options) {
+                                      const MultistageOptions& options,
+                                      const EngineOptions& engine_options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(options.run_to_completion,
                "the distributed protocol always carves to completion");
@@ -75,11 +79,12 @@ DistributedRun multistage_distributed(const Graph& g,
   bounds.rounds = (static_cast<double>(k) + 1.0) * bounds.colors;
   bounds.success_probability = 1.0 - 5.0 / options.c;
   return run_distributed(g, params, static_cast<double>(k), options.c,
-                         bounds);
+                         bounds, engine_options);
 }
 
 DistributedRun high_radius_distributed(const Graph& g,
-                                       const HighRadiusOptions& options) {
+                                       const HighRadiusOptions& options,
+                                       const EngineOptions& engine_options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(options.run_to_completion,
                "the distributed protocol always carves to completion");
@@ -100,7 +105,7 @@ DistributedRun high_radius_distributed(const Graph& g,
   bounds.colors = static_cast<double>(options.lambda);
   bounds.rounds = static_cast<double>(options.lambda) * k;
   bounds.success_probability = 1.0 - 3.0 / options.c;
-  return run_distributed(g, params, k, options.c, bounds);
+  return run_distributed(g, params, k, options.c, bounds, engine_options);
 }
 
 }  // namespace dsnd

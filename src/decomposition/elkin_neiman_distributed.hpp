@@ -32,17 +32,21 @@ struct DistributedRun {
   SimMetrics sim;
 };
 
-/// Theorem 1 distributed; options.margin must be 1.
-DistributedRun elkin_neiman_distributed(const Graph& g,
-                                        const ElkinNeimanOptions& options);
+/// Theorem 1 distributed; options.margin must be 1. engine_options tunes
+/// the simulator (scheduling, threads) without changing the clustering.
+DistributedRun elkin_neiman_distributed(
+    const Graph& g, const ElkinNeimanOptions& options,
+    const EngineOptions& engine_options = {});
 
 /// Theorem 2 (multistage beta schedule) distributed.
-DistributedRun multistage_distributed(const Graph& g,
-                                      const MultistageOptions& options);
+DistributedRun multistage_distributed(
+    const Graph& g, const MultistageOptions& options,
+    const EngineOptions& engine_options = {});
 
 /// Theorem 3 (high radius regime) distributed.
-DistributedRun high_radius_distributed(const Graph& g,
-                                       const HighRadiusOptions& options);
+DistributedRun high_radius_distributed(
+    const Graph& g, const HighRadiusOptions& options,
+    const EngineOptions& engine_options = {});
 
 /// Upper bound on words per message the protocol may emit: one entry per
 /// message — [tag, center, radius, dist] — and at most two such messages

@@ -1,11 +1,13 @@
 #include "decomposition/linial_saks_distributed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
+#include "support/atomics.hpp"
 #include "support/distributions.hpp"
 #include "support/rng.hpp"
 
@@ -42,7 +44,7 @@ class LinialSaksProtocol final : public Protocol {
   }
 
   void on_round(VertexId v, std::size_t round,
-                std::span<const Message> inbox, Outbox& out) override {
+                std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     if (!alive_[vi]) return;
     const auto phase_len = static_cast<std::size_t>(k_) + 1;
@@ -50,20 +52,23 @@ class LinialSaksProtocol final : public Protocol {
     const auto step = static_cast<std::int32_t>(round % phase_len);
 
     if (step == 0) {
-      if (phases_used_ <= phase) phases_used_ = phase + 1;
+      atomic_max(phases_used_, phase + 1);
       // Identical stream to linial_saks_decomposition.
       Xoshiro256ss rng(stream_seed(seed_,
                                    static_cast<std::uint64_t>(phase) + 1,
                                    static_cast<std::uint64_t>(v) + 1));
       const std::int32_t r = sample_truncated_geometric(rng, p_, k_ - 1);
-      max_radius_ = std::max(max_radius_, r);
+      atomic_max(max_radius_, r);
       frontier_[vi].clear();
       frontier_[vi].push_back(LsEntry{v, r, 0});
       forward(v, LsEntry{v, r, 0}, out);
+      // Quiet flooding steps run on inbox arrivals; the deciding step
+      // must run even if nothing arrived.
+      out.wake_self_in(static_cast<std::size_t>(k_));
       return;
     }
 
-    for (const Message& msg : inbox) {
+    for (const MessageView& msg : inbox) {
       if (msg.words.empty() || msg.words[0] != kTagEntry) continue;
       DSND_CHECK(msg.words.size() == 4, "malformed LS entry message");
       LsEntry entry;
@@ -83,43 +88,62 @@ class LinialSaksProtocol final : public Protocol {
       chosen_center_[vi] = winner.id;
       chosen_phase_[vi] = phase;
       alive_[vi] = 0;
-      --remaining_;
-      const std::uint64_t words[] = {kTagLeave};
-      out.send_to_all_neighbors(words);
+      remaining_.fetch_sub(1, std::memory_order_relaxed);
+      out.send_to_all_neighbors({kTagLeave});
+    } else {
+      // Survivors sample again at the next phase's step 0.
+      out.wake_self_in(1);
     }
   }
 
-  bool finished() const override { return remaining_ == 0; }
+  bool finished() const override {
+    return remaining_.load(std::memory_order_relaxed) == 0;
+  }
 
   CarveResult build_result() const {
     CarveResult result;
     const auto n = static_cast<std::size_t>(graph_->num_vertices());
+    const std::int32_t phases_used =
+        phases_used_.load(std::memory_order_relaxed);
     result.clustering = Clustering(graph_->num_vertices());
-    result.phases_used = phases_used_;
-    result.max_sampled_radius = static_cast<double>(max_radius_);
-    result.rounds = static_cast<std::int64_t>(phases_used_) * (k_ + 1);
+    result.phases_used = phases_used;
+    result.max_sampled_radius =
+        static_cast<double>(max_radius_.load(std::memory_order_relaxed));
+    result.rounds = static_cast<std::int64_t>(phases_used) * (k_ + 1);
     result.carved_per_phase.assign(
-        static_cast<std::size_t>(phases_used_), 0);
+        static_cast<std::size_t>(phases_used), 0);
+    // One bucketing pass keeps the deterministic (phase, vertex-id)
+    // cluster order at O(n + phases) instead of O(n * phases).
+    std::vector<std::vector<VertexId>> members_per_phase(
+        static_cast<std::size_t>(phases_used));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (chosen_phase_[v] >= 0) {
+        members_per_phase[static_cast<std::size_t>(chosen_phase_[v])]
+            .push_back(static_cast<VertexId>(v));
+      }
+    }
     std::vector<ClusterId> cluster_of_center(n, kNoCluster);
-    for (std::int32_t phase = 0; phase < phases_used_; ++phase) {
-      for (std::size_t v = 0; v < n; ++v) {
-        if (chosen_phase_[v] != phase) continue;
+    for (std::int32_t phase = 0; phase < phases_used; ++phase) {
+      for (const VertexId v : members_per_phase[static_cast<std::size_t>(
+               phase)]) {
         ++result.carved_per_phase[static_cast<std::size_t>(phase)];
-        const auto center = static_cast<std::size_t>(chosen_center_[v]);
+        const auto center = static_cast<std::size_t>(
+            chosen_center_[static_cast<std::size_t>(v)]);
         if (cluster_of_center[center] == kNoCluster ||
             result.clustering.color_of(cluster_of_center[center]) !=
                 phase) {
           cluster_of_center[center] = result.clustering.add_cluster(
               static_cast<VertexId>(center), phase);
         }
-        result.clustering.assign(static_cast<VertexId>(v),
-                                 cluster_of_center[center]);
+        result.clustering.assign(v, cluster_of_center[center]);
       }
     }
     return result;
   }
 
-  VertexId remaining() const { return remaining_; }
+  VertexId remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
   std::size_t max_frontier_size() const {
     std::size_t result = 0;
     for (const auto& f : frontier_) result = std::max(result, f.size());
@@ -173,15 +197,17 @@ class LinialSaksProtocol final : public Protocol {
   std::vector<std::vector<LsEntry>> frontier_;
   std::vector<VertexId> chosen_center_;
   std::vector<std::int32_t> chosen_phase_;
-  VertexId remaining_ = 0;
-  std::int32_t phases_used_ = 0;
-  std::int32_t max_radius_ = 0;
+  // Shared monotone aggregates; atomic so parallel rounds are race-free.
+  std::atomic<VertexId> remaining_{0};
+  std::atomic<std::int32_t> phases_used_{0};
+  std::atomic<std::int32_t> max_radius_{0};
 };
 
 }  // namespace
 
 DistributedLsRun linial_saks_distributed(const Graph& g,
-                                         const LinialSaksOptions& options) {
+                                         const LinialSaksOptions& options,
+                                         const EngineOptions& engine_options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   const VertexId n = g.num_vertices();
   const std::int32_t k = std::max(resolve_k(n, options.k), 2);
@@ -192,7 +218,7 @@ DistributedLsRun linial_saks_distributed(const Graph& g,
       1.0));
 
   LinialSaksProtocol protocol(options.seed, k, p);
-  SyncEngine engine(g);
+  SyncEngine engine(g, engine_options);
   const std::size_t max_rounds =
       (static_cast<std::size_t>(lambda) * 16 +
        static_cast<std::size_t>(n) + 64) *

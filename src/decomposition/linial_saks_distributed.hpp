@@ -20,6 +20,7 @@
 #include "decomposition/elkin_neiman.hpp"
 #include "decomposition/linial_saks.hpp"
 #include "graph/graph.hpp"
+#include "simulator/engine.hpp"
 #include "simulator/metrics.hpp"
 
 namespace dsnd {
@@ -29,8 +30,9 @@ struct DistributedLsRun {
   SimMetrics sim;
 };
 
-DistributedLsRun linial_saks_distributed(const Graph& g,
-                                         const LinialSaksOptions& options);
+DistributedLsRun linial_saks_distributed(
+    const Graph& g, const LinialSaksOptions& options,
+    const EngineOptions& engine_options = {});
 
 /// [tag, id, radius, dist].
 inline constexpr std::size_t kLsProtocolMaxWords = 4;

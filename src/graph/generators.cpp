@@ -351,6 +351,78 @@ Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed) {
   return std::move(builder).build();
 }
 
+Graph make_rgg(VertexId n, double radius, std::uint64_t seed) {
+  DSND_REQUIRE(n >= 1, "rgg needs at least one vertex");
+  DSND_REQUIRE(radius > 0.0 && radius <= 1.0, "rgg radius must be in (0, 1]");
+  const auto count = static_cast<std::size_t>(n);
+  Xoshiro256ss rng(stream_seed(seed, 0x52474701ULL,
+                               static_cast<std::uint64_t>(n)));
+  std::vector<double> x(count);
+  std::vector<double> y(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    x[i] = uniform_unit(rng);
+    y[i] = uniform_unit(rng);
+  }
+
+  // Bucket the points into a grid of cells with side >= radius; every
+  // partner of a point then lies in its 3x3 cell block.
+  const auto side = static_cast<std::int32_t>(
+      std::max(1.0, std::floor(1.0 / radius)));
+  const auto cells = static_cast<std::size_t>(side) *
+                     static_cast<std::size_t>(side);
+  auto cell_coord = [side](double value) {
+    return std::min<std::int32_t>(
+        side - 1, static_cast<std::int32_t>(value *
+                                            static_cast<double>(side)));
+  };
+  std::vector<std::size_t> cell_start(cells + 1, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cell = static_cast<std::size_t>(cell_coord(y[i])) *
+                          static_cast<std::size_t>(side) +
+                      static_cast<std::size_t>(cell_coord(x[i]));
+    ++cell_start[cell + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) cell_start[c + 1] += cell_start[c];
+  std::vector<VertexId> members(count);
+  {
+    std::vector<std::size_t> fill(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto cell = static_cast<std::size_t>(cell_coord(y[i])) *
+                            static_cast<std::size_t>(side) +
+                        static_cast<std::size_t>(cell_coord(x[i]));
+      members[fill[cell]++] = static_cast<VertexId>(i);
+    }
+  }
+
+  const double r2 = radius * radius;
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int32_t cx = cell_coord(x[i]);
+    const std::int32_t cy = cell_coord(y[i]);
+    for (std::int32_t gy = std::max(cy - 1, 0);
+         gy <= std::min(cy + 1, side - 1); ++gy) {
+      for (std::int32_t gx = std::max(cx - 1, 0);
+           gx <= std::min(cx + 1, side - 1); ++gx) {
+        const auto cell = static_cast<std::size_t>(gy) *
+                              static_cast<std::size_t>(side) +
+                          static_cast<std::size_t>(gx);
+        for (std::size_t slot = cell_start[cell];
+             slot < cell_start[cell + 1]; ++slot) {
+          const auto j = static_cast<std::size_t>(members[slot]);
+          if (j <= i) continue;  // each pair once
+          const double dx = x[i] - x[j];
+          const double dy = y[i] - y[j];
+          if (dx * dx + dy * dy <= r2) {
+            builder.add_edge(static_cast<VertexId>(i),
+                             static_cast<VertexId>(j));
+          }
+        }
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
 namespace {
 
 VertexId isqrt(VertexId n) {
@@ -412,6 +484,14 @@ const std::vector<GraphFamily>& families_impl() {
       {"small-world",
        [](VertexId n, std::uint64_t seed) {
          return make_watts_strogatz(std::max<VertexId>(n, 8), 3, 0.1, seed);
+       }},
+      {"rgg",
+       [](VertexId n, std::uint64_t seed) {
+         // Radius for expected average degree ~8.
+         const double radius =
+             std::sqrt(8.0 / (3.14159265358979323846 *
+                              static_cast<double>(std::max<VertexId>(n, 2))));
+         return make_rgg(n, std::min(1.0, radius), seed);
        }},
   };
   return kFamilies;

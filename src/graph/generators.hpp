@@ -81,6 +81,13 @@ Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
 /// edges. Requires m >= 1 and n > m.
 Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed);
 
+/// Random geometric graph: n points uniform in the unit square, an edge
+/// whenever two points lie within euclidean distance radius (0, 1].
+/// Grid-bucketed construction (cells of side >= radius, candidates from
+/// the 3x3 block): expected O(n + m) work, so million-vertex instances
+/// are cheap. Expected average degree ~ n * pi * radius^2.
+Graph make_rgg(VertexId n, double radius, std::uint64_t seed);
+
 // --- Named registry --------------------------------------------------------
 
 /// A named generator producing a graph of roughly n vertices; used by the
@@ -91,7 +98,8 @@ struct GraphFamily {
 };
 
 /// The standard sweep: path, cycle, grid, tree, random tree, gnp-sparse,
-/// gnp-dense, random-regular, hypercube, ring-of-cliques, small-world.
+/// gnp-dense, random-regular, hypercube, ring-of-cliques, small-world,
+/// rgg.
 const std::vector<GraphFamily>& standard_families();
 
 /// Look up a family by name; throws std::invalid_argument if unknown.

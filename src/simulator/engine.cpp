@@ -1,56 +1,364 @@
 #include "simulator/engine.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "support/assert.hpp"
 
 namespace dsnd {
 
-void Outbox::send(VertexId to, std::vector<std::uint64_t> words) {
-  engine_.deliver(sender_, to, std::move(words));
+// ---------------------------------------------------------------------------
+// Outbox
+// ---------------------------------------------------------------------------
+
+void Outbox::ensure_neighbors() {
+  if (!neighbors_fetched_) {
+    neighbors_ = engine_.graph().neighbors(sender_);
+    neighbors_fetched_ = true;
+  }
+}
+
+bool Outbox::is_neighbor(VertexId to) {
+  ensure_neighbors();
+  const std::size_t size = neighbors_.size();
+  while (cursor_ < size && neighbors_[cursor_] < to) ++cursor_;
+  if (cursor_ < size && neighbors_[cursor_] == to) return true;
+  // Out-of-order send: binary-search the sorted row and repark the
+  // cursor so a subsequent in-order run resumes in O(1) per send.
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+  if (it != neighbors_.end() && *it == to) {
+    cursor_ = static_cast<std::size_t>(it - neighbors_.begin());
+    return true;
+  }
+  return false;
+}
+
+void Outbox::send(VertexId to, std::span<const std::uint64_t> words) {
+  DSND_REQUIRE(is_neighbor(to), "protocol tried to send to a non-neighbor");
+  const std::size_t begin = staging_.words.size();
+  staging_.words.insert(staging_.words.end(), words.begin(), words.end());
+  staging_.headers.push_back(detail::MsgHeader{
+      sender_, to, static_cast<std::uint32_t>(words.size()), begin});
 }
 
 void Outbox::send_to_all_neighbors(std::span<const std::uint64_t> words) {
-  for (VertexId to : engine_.graph().neighbors(sender_)) {
-    engine_.deliver(sender_, to,
-                    std::vector<std::uint64_t>(words.begin(), words.end()));
+  ensure_neighbors();
+  if (neighbors_.empty()) return;
+  // One arena copy of the payload, shared by every per-neighbor header.
+  const std::size_t begin = staging_.words.size();
+  staging_.words.insert(staging_.words.end(), words.begin(), words.end());
+  const auto length = static_cast<std::uint32_t>(words.size());
+  for (const VertexId to : neighbors_) {
+    staging_.headers.push_back(
+        detail::MsgHeader{sender_, to, length, begin});
   }
 }
 
-SyncEngine::SyncEngine(const Graph& g) : graph_(g) {
-  inboxes_.resize(static_cast<std::size_t>(g.num_vertices()));
-  next_inboxes_.resize(static_cast<std::size_t>(g.num_vertices()));
+void Outbox::wake_self_in(std::size_t rounds) {
+  DSND_REQUIRE(rounds >= 1, "wake_self_in needs a delay of at least 1 round");
+  staging_.wakes.emplace_back(
+      static_cast<std::uint64_t>(engine_.current_round_ + rounds), sender_);
 }
 
-void SyncEngine::deliver(VertexId from, VertexId to,
-                         std::vector<std::uint64_t> words) {
-  DSND_REQUIRE(graph_.has_edge(from, to),
-               "protocol tried to send to a non-neighbor");
-  metrics_.record_message(current_round_, words.size());
-  next_inboxes_[static_cast<std::size_t>(to)].push_back(
-      Message{from, std::move(words)});
+// ---------------------------------------------------------------------------
+// SyncEngine
+// ---------------------------------------------------------------------------
+
+SyncEngine::SyncEngine(const Graph& g, EngineOptions options)
+    : graph_(g), options_(options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  inbox_begin_.resize(n);
+  inbox_fill_.resize(n);
+  inbox_len_.assign(n, 0);
+  inbox_count_.assign(n, 0);
+  active_stamp_.assign(n, 0);
+  all_vertices_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    all_vertices_[v] = static_cast<VertexId>(v);
+  }
+  wake_ring_.resize(64);
+}
+
+void SyncEngine::reset(Protocol& protocol) {
+  workers_ = options_.threads == 0
+                 ? std::max(1u, std::thread::hardware_concurrency())
+                 : std::max(1u, options_.threads);
+  scheduled_ =
+      options_.active_scheduling && !protocol.needs_spontaneous_rounds();
+  current_round_ = 0;
+  metrics_ = SimMetrics{};
+  round_messages_.clear();
+
+  staging_.resize(workers_);
+  for (auto& staging : staging_) staging.clear_round();
+  staging_word_counts_.clear();
+
+  for (const VertexId to : touched_) {
+    inbox_len_[static_cast<std::size_t>(to)] = 0;
+  }
+  touched_.clear();
+  inbox_views_.clear();
+  words_live_.clear();
+  std::fill(active_stamp_.begin(), active_stamp_.end(), 0);
+  active_.clear();
+  for (auto& bucket : wake_ring_) bucket.clear();
+  pending_wakes_ = 0;
+}
+
+void SyncEngine::run_vertex(Protocol& protocol, VertexId v,
+                            detail::SendStaging& staging) {
+  const auto vi = static_cast<std::size_t>(v);
+  const std::uint32_t length = inbox_len_[vi];
+  const std::span<const MessageView> inbox =
+      length == 0 ? std::span<const MessageView>{}
+                  : std::span<const MessageView>(
+                        inbox_views_.data() + inbox_begin_[vi], length);
+  Outbox out(*this, staging, v);
+  protocol.on_round(v, current_round_, inbox, out);
+}
+
+void SyncEngine::ring_insert(const std::uint64_t target, const VertexId v) {
+  const std::uint64_t delta = target - current_round_;
+  if (delta >= wake_ring_.size()) {
+    // Grow the calendar to a power of two covering the delta and rehome
+    // the pending entries under the new mask.
+    std::size_t size = wake_ring_.size();
+    while (size <= delta) size *= 2;
+    std::vector<std::vector<std::pair<std::uint64_t, VertexId>>> grown(size);
+    for (const auto& bucket : wake_ring_) {
+      for (const auto& entry : bucket) {
+        grown[entry.first & (size - 1)].push_back(entry);
+      }
+    }
+    wake_ring_ = std::move(grown);
+  }
+  wake_ring_[target & (wake_ring_.size() - 1)].emplace_back(target, v);
+  ++pending_wakes_;
+}
+
+void SyncEngine::collect_round() {
+  // The inbox index consumed this round is dead; zero its slots so the
+  // no-message default holds for next round.
+  for (const VertexId to : touched_) {
+    inbox_len_[static_cast<std::size_t>(to)] = 0;
+  }
+  touched_.clear();
+
+  // Staged payload words become the live arena backing next round's
+  // views. Serial mode swaps buffers (zero copies; last round's arena
+  // memory is recycled as staging capacity); parallel mode concatenates
+  // the worker arenas in worker order.
+  staging_word_counts_.clear();
+  for (const auto& staging : staging_) {
+    staging_word_counts_.push_back(staging.words.size());
+  }
+  if (workers_ == 1) {
+    std::swap(words_live_, staging_[0].words);
+  } else {
+    words_merge_.clear();
+    for (const auto& staging : staging_) {
+      words_merge_.insert(words_merge_.end(), staging.words.begin(),
+                          staging.words.end());
+    }
+    std::swap(words_live_, words_merge_);
+  }
+
+  // Pass 1: per-receiver counts and message metrics.
+  std::size_t total_messages = 0;
+  for (const auto& staging : staging_) {
+    total_messages += staging.headers.size();
+    for (const detail::MsgHeader& h : staging.headers) {
+      metrics_.words += h.length;
+      if (h.length > metrics_.max_message_words) {
+        metrics_.max_message_words = h.length;
+      }
+      std::uint32_t& count = inbox_count_[static_cast<std::size_t>(h.to)];
+      if (count == 0) touched_.push_back(h.to);
+      ++count;
+    }
+  }
+  metrics_.messages += total_messages;
+  round_messages_.push_back(total_messages);
+
+  // Pass 2: CSR offsets for the touched receivers only — a quiet round
+  // costs O(active + messages), never O(n).
+  std::size_t running = 0;
+  for (const VertexId to : touched_) {
+    const auto ti = static_cast<std::size_t>(to);
+    inbox_begin_[ti] = running;
+    inbox_fill_[ti] = running;
+    inbox_len_[ti] = inbox_count_[ti];
+    running += inbox_count_[ti];
+    inbox_count_[ti] = 0;
+  }
+
+  // Pass 3: stable counting-sort scatter by receiver. Iterating the
+  // staging buffers in worker order reproduces the vertex-order send
+  // sequence, so inbox order is identical for any thread count.
+  inbox_views_.resize(total_messages);
+  std::size_t word_base = 0;
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    for (const detail::MsgHeader& h : staging_[s].headers) {
+      inbox_views_[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
+          MessageView{h.from,
+                      {words_live_.data() + word_base + h.word_begin,
+                       h.length}};
+    }
+    word_base += staging_word_counts_[s];
+  }
+
+  // Wake requests into the calendar, then fire the next round's bucket
+  // and build the next active list: receivers with mail plus due wakes,
+  // deduplicated, in vertex-id order (so the execution order — and hence
+  // every inbox order — matches the run-every-vertex mode).
+  for (const auto& staging : staging_) {
+    for (const auto& [target, v] : staging.wakes) ring_insert(target, v);
+  }
+  const std::uint64_t next = static_cast<std::uint64_t>(current_round_) + 1;
+  const std::uint64_t stamp = next + 1;
+  active_.clear();
+  for (const VertexId to : touched_) {
+    active_.push_back(to);
+    active_stamp_[static_cast<std::size_t>(to)] = stamp;
+  }
+  auto& due = wake_ring_[next & (wake_ring_.size() - 1)];
+  for (const auto& [target, v] : due) {
+    if (active_stamp_[static_cast<std::size_t>(v)] != stamp) {
+      active_stamp_[static_cast<std::size_t>(v)] = stamp;
+      active_.push_back(v);
+    }
+  }
+  pending_wakes_ -= due.size();
+  due.clear();
+  // Vertex-id order keeps execution (and inbox) order identical to the
+  // run-every-vertex mode. Dense lists are rebuilt by scanning the stamp
+  // array — O(n), cheaper than sorting a large fraction of n; sparse
+  // lists are sorted directly.
+  if (active_.size() >= active_stamp_.size() / 16) {
+    active_.clear();
+    for (std::size_t v = 0; v < active_stamp_.size(); ++v) {
+      if (active_stamp_[v] == stamp) {
+        active_.push_back(static_cast<VertexId>(v));
+      }
+    }
+  } else if (!std::is_sorted(active_.begin(), active_.end())) {
+    std::sort(active_.begin(), active_.end());
+  }
+
+  for (auto& staging : staging_) staging.clear_round();
 }
 
 SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
-  metrics_ = SimMetrics{};
-  for (auto& box : inboxes_) box.clear();
-  for (auto& box : next_inboxes_) box.clear();
-  current_round_ = 0;
-
+  reset(protocol);
   protocol.begin(graph_);
-  while (!protocol.finished() && current_round_ < max_rounds) {
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      Outbox out(*this, v);
-      protocol.on_round(v, current_round_,
-                        inboxes_[static_cast<std::size_t>(v)], out);
+
+  // Worker pool for the duration of this run (workers_ > 1 only). Each
+  // worker executes a contiguous slice of the round's vertex list into
+  // its own staging buffer; the main thread takes slice 0.
+  std::mutex mutex;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;
+  unsigned outstanding = 0;
+  bool stop = false;
+  std::span<const VertexId> job{};
+  std::vector<std::thread> pool;
+
+  const auto run_slice = [&](std::span<const VertexId> vertices, unsigned w) {
+    const std::size_t chunk =
+        (vertices.size() + workers_ - 1) / workers_;
+    const std::size_t begin = std::min(vertices.size(), w * chunk);
+    const std::size_t end = std::min(vertices.size(), begin + chunk);
+    detail::SendStaging& staging = staging_[w];
+    try {
+      for (std::size_t i = begin; i < end; ++i) {
+        run_vertex(protocol, vertices[i], staging);
+      }
+    } catch (...) {
+      staging.error = std::current_exception();
     }
-    // Advance to the next round: what was sent becomes next inboxes.
-    for (std::size_t v = 0; v < inboxes_.size(); ++v) {
-      inboxes_[v].clear();
-      std::swap(inboxes_[v], next_inboxes_[v]);
+  };
+
+  if (workers_ > 1) {
+    for (unsigned w = 1; w < workers_; ++w) {
+      pool.emplace_back([&, w] {
+        std::uint64_t seen = 0;
+        while (true) {
+          std::span<const VertexId> vertices;
+          {
+            std::unique_lock lock(mutex);
+            cv_start.wait(lock,
+                          [&] { return stop || generation != seen; });
+            if (stop) return;
+            seen = generation;
+            vertices = job;
+          }
+          run_slice(vertices, w);
+          {
+            const std::scoped_lock lock(mutex);
+            if (--outstanding == 0) cv_done.notify_one();
+          }
+        }
+      });
     }
+  }
+  struct PoolGuard {
+    std::mutex& mutex;
+    std::condition_variable& cv_start;
+    bool& stop;
+    std::vector<std::thread>& pool;
+    ~PoolGuard() {
+      {
+        const std::scoped_lock lock(mutex);
+        stop = true;
+      }
+      cv_start.notify_all();
+      for (std::thread& t : pool) t.join();
+    }
+  } pool_guard{mutex, cv_start, stop, pool};
+
+  while (current_round_ < max_rounds && !protocol.finished()) {
+    const bool use_active = scheduled_ && current_round_ > 0;
+    const std::span<const VertexId> vertices =
+        use_active ? std::span<const VertexId>(active_)
+                   : std::span<const VertexId>(all_vertices_);
+    if (use_active && vertices.empty() && pending_wakes_ == 0) {
+      // Quiescent: no inbox, no pending wake — no future round can
+      // change state, so running to the cap would only burn time.
+      break;
+    }
+    metrics_.vertex_activations += vertices.size();
+
+    if (workers_ == 1 || vertices.size() < 2) {
+      for (const VertexId v : vertices) {
+        run_vertex(protocol, v, staging_[0]);
+      }
+    } else {
+      {
+        const std::scoped_lock lock(mutex);
+        job = vertices;
+        outstanding = workers_ - 1;
+        ++generation;
+      }
+      cv_start.notify_all();
+      run_slice(vertices, 0);
+      {
+        std::unique_lock lock(mutex);
+        cv_done.wait(lock, [&] { return outstanding == 0; });
+      }
+      for (const auto& staging : staging_) {
+        if (staging.error) std::rethrow_exception(staging.error);
+      }
+    }
+
+    collect_round();
     ++current_round_;
   }
+
   metrics_.rounds = current_round_;
-  metrics_.messages_per_round.resize(current_round_, 0);
+  metrics_.messages_per_round = round_messages_;
   return metrics_;
 }
 

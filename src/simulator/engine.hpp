@@ -8,14 +8,40 @@
 // words; the engine records per-message widths so a protocol's CONGEST
 // compliance (O(1) words per message) can be asserted by tests/benches.
 //
-// Protocols must not share mutable state between vertices: the engine
-// calls on_round() for every vertex with only that vertex's inbox, and
-// the outputs become visible to neighbors in the *next* round, exactly as
-// in the standard synchronous model.
+// Implementation (see docs/ARCHITECTURE.md for the arena diagram): a
+// round performs zero per-message heap allocations. Sends append the
+// payload words to a flat, reusable word arena and a fixed-size header
+// to a staging list; at the round boundary the headers are counting-
+// sorted by receiver into a CSR index over the arena, so each vertex's
+// inbox is a contiguous span of `MessageView`s. All buffers are engine
+// members whose capacity persists across rounds (and across run()s).
+//
+// Scheduling: by default only vertices with a nonempty inbox or a
+// pending self-wake (Outbox::wake_self_in) execute in a round — quiet
+// vertices cost nothing. Every vertex runs in round 0 so protocols can
+// act spontaneously once and set up their wake chains. Protocols whose
+// vertices act on a round timetable without messages or self-wakes
+// override Protocol::needs_spontaneous_rounds() to opt out, and then
+// every vertex runs every round (the pre-arena behavior). When a
+// scheduled run reaches quiescence — no active vertex and no pending
+// wake — the engine stops early: no future round could change state.
+//
+// Parallelism: EngineOptions::threads > 1 executes the vertices of a
+// round concurrently. Protocols must not share mutable state between
+// vertices (aggregate counters must be atomic): the engine calls
+// on_round() for every vertex with only that vertex's inbox, and the
+// outputs become visible to neighbors in the *next* round, exactly as in
+// the standard synchronous model. Each worker stages its sends privately
+// and the engine merges the staging buffers in vertex order, so results
+// and metrics are bit-identical for any thread count. The default is
+// single-threaded.
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -23,10 +49,59 @@
 
 namespace dsnd {
 
-struct Message {
+/// A delivered message: sender plus a view of the payload words. The
+/// span points into the engine's round arena and is valid only for the
+/// duration of the on_round() call it was passed to; protocols that need
+/// a payload later must copy the words.
+struct MessageView {
   VertexId from = -1;
-  std::vector<std::uint64_t> words;
+  std::span<const std::uint64_t> words;
 };
+
+/// Engine knobs. The default is deterministic single-threaded execution
+/// with active-vertex scheduling.
+struct EngineOptions {
+  /// When true (default), only vertices with a nonempty inbox or a due
+  /// self-wake run each round (unless the protocol opts out via
+  /// Protocol::needs_spontaneous_rounds). When false, every vertex runs
+  /// every round.
+  bool active_scheduling = true;
+
+  /// Worker threads for vertex execution. 1 = serial (default);
+  /// 0 = hardware concurrency. Any value produces identical results.
+  unsigned threads = 1;
+};
+
+namespace detail {
+
+/// One staged send: receiver, sender, and the payload's location in the
+/// staging word arena. 64-bit word offsets keep >4G-word rounds valid.
+struct MsgHeader {
+  VertexId from = -1;
+  VertexId to = -1;
+  std::uint32_t length = 0;
+  std::size_t word_begin = 0;
+};
+
+/// Per-worker send buffer: headers + flat payload words + wake requests.
+/// Capacity persists across rounds, so steady-state rounds allocate
+/// nothing. With threads > 1 each worker owns one and the engine merges
+/// them in vertex order at the round boundary.
+struct SendStaging {
+  std::vector<MsgHeader> headers;
+  std::vector<std::uint64_t> words;
+  std::vector<std::pair<std::uint64_t, VertexId>> wakes;  // (round, vertex)
+  std::exception_ptr error;
+
+  void clear_round() {
+    headers.clear();
+    words.clear();
+    wakes.clear();
+    error = nullptr;
+  }
+};
+
+}  // namespace detail
 
 class SyncEngine;
 
@@ -35,18 +110,48 @@ class Outbox {
  public:
   /// Queues a message from the current vertex to neighbor `to` for
   /// delivery next round. Throws if `to` is not adjacent to the sender.
-  void send(VertexId to, std::vector<std::uint64_t> words);
+  /// The payload is copied into the engine's arena before returning.
+  void send(VertexId to, std::span<const std::uint64_t> words);
+
+  void send(VertexId to, std::initializer_list<std::uint64_t> words) {
+    send(to, std::span<const std::uint64_t>(words.begin(), words.size()));
+  }
 
   /// Queues the same payload to every neighbor of the current vertex.
+  /// The payload words are stored once and shared by all copies.
   void send_to_all_neighbors(std::span<const std::uint64_t> words);
+
+  void send_to_all_neighbors(std::initializer_list<std::uint64_t> words) {
+    send_to_all_neighbors(
+        std::span<const std::uint64_t>(words.begin(), words.size()));
+  }
+
+  /// Asks the engine to run this vertex again `rounds` rounds from now
+  /// (>= 1) even if its inbox is empty. The active-scheduling analogue of
+  /// spontaneous action: a protocol that must act at a future step of its
+  /// timetable schedules the wake instead of running every round.
+  void wake_self_in(std::size_t rounds);
 
  private:
   friend class SyncEngine;
-  Outbox(SyncEngine& engine, VertexId sender)
-      : engine_(engine), sender_(sender) {}
+  Outbox(SyncEngine& engine, detail::SendStaging& staging, VertexId sender)
+      : engine_(engine), staging_(staging), sender_(sender) {}
+
+  /// Adjacency check: a monotone cursor over the sorted neighbor row
+  /// makes in-order send sequences O(1) amortized per send; out-of-order
+  /// sends fall back to binary search.
+  bool is_neighbor(VertexId to);
+
+  /// The neighbor row is fetched on first use: many activations only
+  /// read their inbox or schedule a wake and never pay for the lookup.
+  void ensure_neighbors();
 
   SyncEngine& engine_;
+  detail::SendStaging& staging_;
   VertexId sender_;
+  std::span<const VertexId> neighbors_;
+  std::size_t cursor_ = 0;
+  bool neighbors_fetched_ = false;
 };
 
 /// A distributed algorithm. The engine drives all vertices through
@@ -58,35 +163,78 @@ class Protocol {
   /// Called once before the first round.
   virtual void begin(const Graph& g) = 0;
 
-  /// Called once per vertex per round with the messages delivered to this
-  /// vertex (sent by neighbors in the previous round).
+  /// Called per round for each scheduled vertex with the messages
+  /// delivered to it (sent by neighbors in the previous round).
   virtual void on_round(VertexId v, std::size_t round,
-                        std::span<const Message> inbox, Outbox& out) = 0;
+                        std::span<const MessageView> inbox, Outbox& out) = 0;
 
   /// Checked after every round; true stops the engine. A global predicate
   /// is a simulation convenience (real deployments use termination
   /// detection); it never feeds information back into on_round decisions.
   virtual bool finished() const = 0;
+
+  /// Scheduling opt-out. Protocols whose vertices act spontaneously on a
+  /// round timetable — sending with an empty inbox at rounds they never
+  /// scheduled a wake for — return true, and the engine then runs every
+  /// vertex every round regardless of EngineOptions::active_scheduling.
+  virtual bool needs_spontaneous_rounds() const { return false; }
 };
 
 class SyncEngine {
  public:
-  explicit SyncEngine(const Graph& g);
+  explicit SyncEngine(const Graph& g, EngineOptions options = {});
 
-  /// Runs `protocol` until finished() or max_rounds; returns the metrics.
+  /// Runs `protocol` until finished(), quiescence (scheduled mode only),
+  /// or max_rounds; returns the metrics. Reusable: a second run() starts
+  /// fresh but reuses all internal buffer capacity.
   SimMetrics run(Protocol& protocol, std::size_t max_rounds);
 
   const Graph& graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
 
  private:
   friend class Outbox;
-  void deliver(VertexId from, VertexId to, std::vector<std::uint64_t> words);
+
+  void reset(Protocol& protocol);
+  void run_vertex(Protocol& protocol, VertexId v,
+                  detail::SendStaging& staging);
+  /// Round boundary: merges the staging buffers into the next round's
+  /// CSR inbox index, fires due wakes, and builds the next active list.
+  void collect_round();
+  void ring_insert(std::uint64_t target, VertexId v);
 
   const Graph& graph_;
-  std::vector<std::vector<Message>> inboxes_;
-  std::vector<std::vector<Message>> next_inboxes_;
-  SimMetrics metrics_;
+  const EngineOptions options_;
+  unsigned workers_ = 1;
+  bool scheduled_ = false;
   std::size_t current_round_ = 0;
+
+  std::vector<detail::SendStaging> staging_;
+  std::vector<std::size_t> staging_word_counts_;
+
+  // Current round's inboxes: CSR over inbox_views_, payloads in the
+  // words_live_ arena. inbox_begin_/inbox_len_ are valid for the
+  // receivers listed in touched_; inbox_len_ is zero elsewhere.
+  std::vector<std::uint64_t> words_live_;
+  std::vector<std::uint64_t> words_merge_;
+  std::vector<MessageView> inbox_views_;
+  std::vector<std::size_t> inbox_begin_;
+  std::vector<std::size_t> inbox_fill_;
+  std::vector<std::uint32_t> inbox_len_;
+  std::vector<std::uint32_t> inbox_count_;
+  std::vector<VertexId> touched_;
+
+  // Active-vertex scheduling state. wake_ring_ is a power-of-two
+  // calendar of (target round, vertex) pairs; active_stamp_ deduplicates
+  // the next active list.
+  std::vector<VertexId> all_vertices_;
+  std::vector<VertexId> active_;
+  std::vector<std::uint64_t> active_stamp_;
+  std::vector<std::vector<std::pair<std::uint64_t, VertexId>>> wake_ring_;
+  std::size_t pending_wakes_ = 0;
+
+  SimMetrics metrics_;
+  std::vector<std::uint64_t> round_messages_;
 };
 
 }  // namespace dsnd

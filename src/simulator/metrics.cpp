@@ -5,17 +5,6 @@
 
 namespace dsnd {
 
-void SimMetrics::record_message(std::size_t round,
-                                std::size_t message_words) {
-  ++messages;
-  words += message_words;
-  max_message_words = std::max(max_message_words, message_words);
-  if (messages_per_round.size() <= round) {
-    messages_per_round.resize(round + 1, 0);
-  }
-  ++messages_per_round[round];
-}
-
 double SimMetrics::avg_messages_per_round() const {
   if (rounds == 0) return 0.0;
   return static_cast<double>(messages) / static_cast<double>(rounds);
@@ -24,7 +13,8 @@ double SimMetrics::avg_messages_per_round() const {
 std::string SimMetrics::to_string() const {
   std::ostringstream out;
   out << "rounds=" << rounds << " messages=" << messages
-      << " words=" << words << " max_message_words=" << max_message_words;
+      << " words=" << words << " max_message_words=" << max_message_words
+      << " vertex_activations=" << vertex_activations;
   return out.str();
 }
 

@@ -18,10 +18,13 @@ struct SimMetrics {
   std::uint64_t words = 0;
   /// Largest single message, in 64-bit words (CONGEST width check).
   std::size_t max_message_words = 0;
-  /// Messages sent in each round (index = round).
+  /// Messages sent in each round (index = round). Always has exactly
+  /// `rounds` entries; quiet rounds are explicit zeros.
   std::vector<std::uint64_t> messages_per_round;
-
-  void record_message(std::size_t round, std::size_t message_words);
+  /// Total on_round() invocations across the run. With active-vertex
+  /// scheduling this is how much work the engine actually did; without
+  /// it, exactly n * rounds.
+  std::uint64_t vertex_activations = 0;
 
   /// Average messages per round; 0 if no rounds elapsed.
   double avg_messages_per_round() const;

@@ -1,0 +1,22 @@
+// Small lock-free helpers shared by the protocols that keep aggregate
+// counters safe under the engine's parallel rounds.
+#pragma once
+
+#include <atomic>
+
+namespace dsnd {
+
+/// Monotone relaxed max: raises `target` to `value` if larger. The
+/// protocols use it for shared instrumentation aggregates (phase
+/// counters, max radii) that never feed back into per-vertex decisions,
+/// so relaxed ordering keeps parallel rounds deterministic.
+template <typename T>
+void atomic_max(std::atomic<T>& target, T value) {
+  T current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace dsnd

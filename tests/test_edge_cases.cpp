@@ -183,8 +183,8 @@ TEST(EdgeCases, SeedZeroIsValid) {
 class MultiSendProtocol final : public Protocol {
  public:
   void begin(const Graph&) override { received_ = 0; }
-  void on_round(VertexId v, std::size_t round, std::span<const Message> inbox,
-                Outbox& out) override {
+  void on_round(VertexId v, std::size_t round,
+                std::span<const MessageView> inbox, Outbox& out) override {
     if (v == 0 && round == 0) {
       out.send(1, {1});
       out.send(1, {2});
@@ -213,7 +213,7 @@ TEST(EdgeCases, EngineRejectsSelfSend) {
   class SelfSend final : public Protocol {
    public:
     void begin(const Graph&) override {}
-    void on_round(VertexId v, std::size_t, std::span<const Message>,
+    void on_round(VertexId v, std::size_t, std::span<const MessageView>,
                   Outbox& out) override {
       if (v == 0) out.send(0, {1});
     }

@@ -186,6 +186,22 @@ TEST(Generators, BarabasiAlbertShape) {
   EXPECT_GT(max_degree(g), 10);
 }
 
+TEST(Generators, RggShape) {
+  const Graph g = make_rgg(400, 0.12, 9);
+  EXPECT_EQ(g.num_vertices(), 400);
+  // Expected average degree ~ n*pi*r^2 ~ 18 (less near the boundary);
+  // a generous band guards against bucketing bugs in either direction.
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) / 400.0;
+  EXPECT_GT(avg_degree, 6.0);
+  EXPECT_LT(avg_degree, 36.0);
+  // Deterministic in the seed.
+  EXPECT_EQ(g, make_rgg(400, 0.12, 9));
+  EXPECT_NE(g.num_edges(), make_rgg(400, 0.12, 10).num_edges());
+  EXPECT_THROW(make_rgg(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_rgg(10, 1.5, 1), std::invalid_argument);
+}
+
 TEST(Generators, StandardFamiliesProduceReasonableSizes) {
   for (const GraphFamily& family : standard_families()) {
     const Graph g = family.make(128, 42);

@@ -5,53 +5,52 @@
 #include <stdexcept>
 #include <vector>
 
+#include "decomposition/elkin_neiman_distributed.hpp"
 #include "graph/generators.hpp"
 
 namespace dsnd {
 namespace {
 
 /// Floods a token from vertex 0; records the round each vertex first saw
-/// it. Verifies synchronous one-hop-per-round semantics.
+/// it. Verifies synchronous one-hop-per-round semantics. Fully
+/// message-driven, so it works under active scheduling: round 0 runs
+/// every vertex (seeding the flood) and afterwards only reached vertices
+/// execute.
 class FloodProtocol final : public Protocol {
  public:
   void begin(const Graph& g) override {
     seen_round_.assign(static_cast<std::size_t>(g.num_vertices()), -1);
     pending_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+    unseen_ = g.num_vertices();
     if (g.num_vertices() > 0) {
       seen_round_[0] = 0;
       pending_[0] = 1;
+      --unseen_;
     }
-    done_ = false;
   }
 
   void on_round(VertexId v, std::size_t round,
-                std::span<const Message> inbox, Outbox& out) override {
+                std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     if (seen_round_[vi] == -1 && !inbox.empty()) {
       seen_round_[vi] = static_cast<std::int32_t>(round);
       pending_[vi] = 1;
+      --unseen_;
     }
     if (pending_[vi]) {
-      const std::uint64_t token[] = {1};
-      out.send_to_all_neighbors(token);
+      out.send_to_all_neighbors({1});
       pending_[vi] = 0;
-    }
-    if (v == 0) {
-      done_ = true;
-      for (const std::int32_t r : seen_round_) {
-        if (r == -1) done_ = false;
-      }
     }
   }
 
-  bool finished() const override { return done_; }
+  bool finished() const override { return unseen_ == 0; }
 
   const std::vector<std::int32_t>& seen_round() const { return seen_round_; }
 
  private:
   std::vector<std::int32_t> seen_round_;
   std::vector<char> pending_;
-  bool done_ = false;
+  VertexId unseen_ = 0;
 };
 
 TEST(Simulator, FloodTakesDistanceRounds) {
@@ -71,6 +70,7 @@ TEST(Simulator, MetricsCountMessages) {
   const SimMetrics metrics = engine.run(protocol, 100);
   // Round 0: v0 sends 1. Round 1: v1 sends 2. Round 2: v2 sends 1, and the
   // finished() predicate fires after that round.
+  EXPECT_EQ(metrics.rounds, 3u);
   EXPECT_EQ(metrics.messages, 4u);
   EXPECT_EQ(metrics.words, 4u);
   EXPECT_EQ(metrics.max_message_words, 1u);
@@ -90,7 +90,7 @@ TEST(Simulator, RoundCapStopsRun) {
 class IllegalSendProtocol final : public Protocol {
  public:
   void begin(const Graph&) override {}
-  void on_round(VertexId v, std::size_t, std::span<const Message>,
+  void on_round(VertexId v, std::size_t, std::span<const MessageView>,
                 Outbox& out) override {
     if (v == 0) out.send(2, {42});  // 0 and 2 are not adjacent in a path
   }
@@ -104,6 +104,38 @@ TEST(Simulator, RejectsSendToNonNeighbor) {
   EXPECT_THROW(engine.run(protocol, 2), std::invalid_argument);
 }
 
+/// Sends to neighbors in non-monotone order: exercises the Outbox's
+/// binary-search fallback behind the in-order cursor fast path.
+class OutOfOrderSendProtocol final : public Protocol {
+ public:
+  void begin(const Graph&) override { received_ = 0; }
+  void on_round(VertexId v, std::size_t round,
+                std::span<const MessageView> inbox, Outbox& out) override {
+    if (v == 0 && round == 0) {
+      out.send(3, {3});
+      out.send(1, {1});  // backwards: cursor must repark
+      out.send(1, {10});  // repeat to the same neighbor
+      out.send(2, {2});
+      EXPECT_THROW(out.send(0, {0}), std::invalid_argument);  // self
+    }
+    received_ += inbox.size();
+  }
+  bool finished() const override { return false; }
+  std::size_t received() const { return received_; }
+
+ private:
+  std::size_t received_ = 0;
+};
+
+TEST(Simulator, OutOfOrderSendsAreValidatedAndDelivered) {
+  const Graph g = make_star(4);  // hub 0, leaves 1..3
+  OutOfOrderSendProtocol protocol;
+  SyncEngine engine(g);
+  const SimMetrics metrics = engine.run(protocol, 2);
+  EXPECT_EQ(metrics.messages, 4u);
+  EXPECT_EQ(protocol.received(), 4u);
+}
+
 /// Ping-pong between two vertices; checks delivery latency of exactly one
 /// round and that from-fields are correct.
 class PingPongProtocol final : public Protocol {
@@ -113,13 +145,13 @@ class PingPongProtocol final : public Protocol {
     sent_first_ = false;
   }
 
-  void on_round(VertexId v, std::size_t round, std::span<const Message> inbox,
-                Outbox& out) override {
+  void on_round(VertexId v, std::size_t round,
+                std::span<const MessageView> inbox, Outbox& out) override {
     if (v == 0 && round == 0 && !sent_first_) {
       out.send(1, {100});
       sent_first_ = true;
     }
-    for (const Message& m : inbox) {
+    for (const MessageView& m : inbox) {
       received_.push_back({v, static_cast<VertexId>(m.from),
                            static_cast<std::int64_t>(round), m.words[0]});
       if (m.words[0] < 103) out.send(m.from, {m.words[0] + 1});
@@ -157,21 +189,183 @@ TEST(Simulator, PingPongAlternates) {
   EXPECT_EQ(events[3].value, 103u);
 }
 
-TEST(SimMetrics, RecordsWidthAndPerRound) {
+/// Vertex 0 emits a pulse every kPeriod rounds via self-wakes; everyone
+/// else only forwards pulses one hop when one arrives. Long quiet
+/// phases: most vertices are idle in most rounds.
+class PulseProtocol final : public Protocol {
+ public:
+  static constexpr std::size_t kPeriod = 8;
+
+  void begin(const Graph& g) override {
+    n_ = g.num_vertices();
+    forwarded_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  }
+
+  void on_round(VertexId v, std::size_t round,
+                std::span<const MessageView> inbox, Outbox& out) override {
+    if (v == 0) {
+      if (round % kPeriod == 0) {
+        out.send(1, {round});
+        out.wake_self_in(kPeriod);
+      }
+      return;
+    }
+    for (const MessageView& m : inbox) {
+      if (m.from == v - 1 && v + 1 < n_) {
+        out.send(v + 1, {m.words[0]});
+      }
+      ++forwarded_[static_cast<std::size_t>(v)];
+    }
+  }
+
+  bool finished() const override { return false; }
+
+  std::uint64_t total_forwarded() const {
+    std::uint64_t sum = 0;
+    for (const char c : forwarded_) sum += static_cast<std::uint64_t>(c);
+    return sum;
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<char> forwarded_;
+};
+
+TEST(Simulator, ActiveSchedulingSkipsQuietVertices) {
+  const Graph g = make_path(64);
+  const std::size_t rounds = 40;
+
+  PulseProtocol scheduled;
+  SyncEngine scheduled_engine(g);  // active scheduling is the default
+  const SimMetrics on = scheduled_engine.run(scheduled, rounds);
+
+  PulseProtocol unscheduled;
+  EngineOptions off_options;
+  off_options.active_scheduling = false;
+  SyncEngine unscheduled_engine(g, off_options);
+  const SimMetrics off = unscheduled_engine.run(unscheduled, rounds);
+
+  // Identical protocol behavior...
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.messages, off.messages);
+  EXPECT_EQ(on.messages_per_round, off.messages_per_round);
+  EXPECT_EQ(scheduled.total_forwarded(), unscheduled.total_forwarded());
+  // ...but the scheduled engine only ran the vertices that had work.
+  EXPECT_EQ(off.vertex_activations, 64u * rounds);
+  EXPECT_LT(on.vertex_activations, off.vertex_activations / 4);
+}
+
+TEST(Simulator, QuiescenceStopsScheduledRunEarly) {
+  // One message at round 0, then silence with no wakes pending: the
+  // scheduled engine stops once nothing can ever change again, while the
+  // unscheduled engine runs to the cap. Both report exact per-round
+  // message counts with quiet rounds as explicit zeros.
+  class OneShot final : public Protocol {
+   public:
+    void begin(const Graph&) override {}
+    void on_round(VertexId v, std::size_t round,
+                  std::span<const MessageView>, Outbox& out) override {
+      if (v == 0 && round == 0) out.send(1, {7});
+    }
+    bool finished() const override { return false; }
+  };
+  const Graph g = make_path(3);
+
+  OneShot scheduled;
+  SyncEngine scheduled_engine(g);
+  const SimMetrics on = scheduled_engine.run(scheduled, 6);
+  // Round 0 sends, round 1 delivers, then quiescence.
+  EXPECT_EQ(on.rounds, 2u);
+  EXPECT_EQ(on.messages_per_round,
+            (std::vector<std::uint64_t>{1, 0}));
+
+  OneShot unscheduled;
+  EngineOptions off_options;
+  off_options.active_scheduling = false;
+  SyncEngine unscheduled_engine(g, off_options);
+  const SimMetrics off = unscheduled_engine.run(unscheduled, 6);
+  EXPECT_EQ(off.rounds, 6u);
+  EXPECT_EQ(off.messages_per_round,
+            (std::vector<std::uint64_t>{1, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(off.messages_per_round.size(), off.rounds);
+}
+
+TEST(Simulator, WakeSelfRequiresPositiveDelay) {
+  class BadWake final : public Protocol {
+   public:
+    void begin(const Graph&) override {}
+    void on_round(VertexId v, std::size_t, std::span<const MessageView>,
+                  Outbox& out) override {
+      if (v == 0) out.wake_self_in(0);
+    }
+    bool finished() const override { return false; }
+  };
+  const Graph g = make_path(2);
+  BadWake protocol;
+  SyncEngine engine(g);
+  EXPECT_THROW(engine.run(protocol, 2), std::invalid_argument);
+}
+
+/// Same seed must give a bit-identical clustering and identical message
+/// metrics for every engine configuration: scheduling on/off, one
+/// worker or many. This is the contract that makes the scheduling and
+/// parallelism pure optimizations.
+TEST(Simulator, DeterministicAcrossSchedulingAndThreads) {
+  const Graph g = make_gnp(400, 8.0 / 399.0, 11);
+  ElkinNeimanOptions options;
+  options.k = 4;
+  options.seed = 99;
+
+  EngineOptions baseline;  // scheduled, serial
+  const DistributedRun reference =
+      elkin_neiman_distributed(g, options, baseline);
+
+  std::vector<EngineOptions> variants;
+  EngineOptions unscheduled;
+  unscheduled.active_scheduling = false;
+  variants.push_back(unscheduled);
+  EngineOptions two_threads;
+  two_threads.threads = 2;
+  variants.push_back(two_threads);
+  EngineOptions hardware_threads;
+  hardware_threads.threads = 0;
+  variants.push_back(hardware_threads);
+  EngineOptions unscheduled_parallel;
+  unscheduled_parallel.active_scheduling = false;
+  unscheduled_parallel.threads = 3;
+  variants.push_back(unscheduled_parallel);
+
+  for (const EngineOptions& variant : variants) {
+    const DistributedRun run = elkin_neiman_distributed(g, options, variant);
+    EXPECT_EQ(run.sim.rounds, reference.sim.rounds);
+    EXPECT_EQ(run.sim.messages, reference.sim.messages);
+    EXPECT_EQ(run.sim.words, reference.sim.words);
+    EXPECT_EQ(run.sim.max_message_words, reference.sim.max_message_words);
+    EXPECT_EQ(run.sim.messages_per_round, reference.sim.messages_per_round);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(run.run.clustering().cluster_of(v),
+                reference.run.clustering().cluster_of(v));
+    }
+  }
+
+  // Scheduling is the whole point: the default configuration must do
+  // strictly less vertex work than run-every-vertex mode.
+  const DistributedRun every_vertex =
+      elkin_neiman_distributed(g, options, unscheduled);
+  EXPECT_LT(reference.sim.vertex_activations,
+            every_vertex.sim.vertex_activations);
+}
+
+TEST(SimMetrics, AveragesAndFormatting) {
   SimMetrics metrics;
-  metrics.record_message(0, 3);
-  metrics.record_message(0, 5);
-  metrics.record_message(2, 1);
   metrics.rounds = 3;
-  EXPECT_EQ(metrics.messages, 3u);
-  EXPECT_EQ(metrics.words, 9u);
-  EXPECT_EQ(metrics.max_message_words, 5u);
-  ASSERT_EQ(metrics.messages_per_round.size(), 3u);
-  EXPECT_EQ(metrics.messages_per_round[0], 2u);
-  EXPECT_EQ(metrics.messages_per_round[1], 0u);
-  EXPECT_EQ(metrics.messages_per_round[2], 1u);
+  metrics.messages = 3;
+  metrics.words = 9;
+  metrics.max_message_words = 5;
+  metrics.messages_per_round = {2, 0, 1};
   EXPECT_DOUBLE_EQ(metrics.avg_messages_per_round(), 1.0);
   EXPECT_NE(metrics.to_string().find("messages=3"), std::string::npos);
+  EXPECT_EQ(SimMetrics{}.avg_messages_per_round(), 0.0);
 }
 
 }  // namespace
