@@ -147,38 +147,81 @@ class JsonWriter {
   bool flushed_ = false;
 };
 
+/// One engine-scaling measurement case: which theorem schedule to run
+/// and whether to batch-validate the resulting clustering.
+struct EngineCaseOptions {
+  int theorem = 1;
+  /// k for Theorems 1-2 (0 = ceil(ln n)); lambda for Theorem 3
+  /// (0 = the default lambda of 3).
+  std::int32_t param = 0;
+  /// Run validate_decomposition_fast on the output and report its wall
+  /// time and verdict (complete + proper coloring + connected clusters).
+  bool validate = false;
+};
+
 /// Shared engine-scaling measurement (bench_congest E8d and
-/// bench_headline_scaling E4c): runs the Theorem 1 CONGEST protocol with
-/// k = ceil(ln n), seed 42 on `g`, appends one table row and one JSON
+/// bench_headline_scaling E4c): runs the selected theorem schedule as a
+/// CONGEST protocol (seed 42) on `g`, appends one table row and one JSON
 /// record, and returns the wall time in ms. Graph construction is
 /// excluded from the timing. The columns for the table are
-/// {family, n, m, rounds, messages, words, activations, wall_ms}.
+/// {schedule, family, n, m, rounds, messages, words, activations,
+/// wall_ms, validate_ms, valid}.
 inline double engine_scaling_case(const std::string& family, const Graph& g,
-                                  Table& table, JsonWriter& json) {
-  ElkinNeimanOptions options;  // k = 0 -> ceil(ln n)
-  options.seed = 42;
+                                  Table& table, JsonWriter& json,
+                                  const EngineCaseOptions& options = {}) {
+  const VertexId n = g.num_vertices();
+  const CarveSchedule schedule =
+      options.theorem == 1 ? theorem1_schedule(n, options.param, 4.0)
+      : options.theorem == 2
+          ? theorem2_schedule(n, options.param, 6.0)
+          : theorem3_schedule(n, options.param == 0 ? 3 : options.param,
+                              4.0);
   Timer timer;
-  const DistributedRun run = elkin_neiman_distributed(g, options);
+  const DistributedRun run = run_schedule_distributed(g, schedule, 42);
   const double wall_ms = timer.elapsed_millis();
+
+  double validate_ms = 0.0;
+  std::string valid_cell = "-";
+  std::int32_t diameter_upper = 0;
+  if (options.validate) {
+    Timer validate_timer;
+    const FastDecompositionReport report =
+        validate_decomposition_fast(g, run.run.clustering());
+    validate_ms = validate_timer.elapsed_millis();
+    const bool valid = report.complete && report.proper_phase_coloring &&
+                       report.all_clusters_connected;
+    valid_cell = valid ? "ok" : "INVALID";
+    diameter_upper = report.strong_diameter_upper;
+  }
+
   table.row()
+      .cell(schedule.name)
       .cell(family)
-      .cell(static_cast<std::int64_t>(g.num_vertices()))
+      .cell(static_cast<std::int64_t>(n))
       .cell(g.num_edges())
       .cell(static_cast<std::uint64_t>(run.sim.rounds))
       .cell(run.sim.messages)
       .cell(run.sim.words)
       .cell(run.sim.vertex_activations)
-      .cell(wall_ms, 1);
-  json.record()
-      .field("section", "engine_scaling")
-      .field("family", family)
-      .field("n", static_cast<std::int64_t>(g.num_vertices()))
-      .field("m", g.num_edges())
-      .field("rounds", static_cast<std::uint64_t>(run.sim.rounds))
-      .field("messages", run.sim.messages)
-      .field("words", run.sim.words)
-      .field("activations", run.sim.vertex_activations)
-      .field("wall_ms", wall_ms);
+      .cell(wall_ms, 1)
+      .cell(options.validate ? format_double(validate_ms, 1) : "-")
+      .cell(valid_cell);
+  auto& record = json.record()
+                     .field("section", "engine_scaling")
+                     .field("schedule", schedule.name)
+                     .field("family", family)
+                     .field("n", static_cast<std::int64_t>(n))
+                     .field("m", g.num_edges())
+                     .field("rounds", static_cast<std::uint64_t>(run.sim.rounds))
+                     .field("messages", run.sim.messages)
+                     .field("words", run.sim.words)
+                     .field("activations", run.sim.vertex_activations)
+                     .field("wall_ms", wall_ms);
+  if (options.validate) {
+    record.field("validate_ms", validate_ms)
+        .field("valid", valid_cell)
+        .field("strong_diameter_upper", diameter_upper);
+  }
   return wall_ms;
 }
 

@@ -15,36 +15,59 @@ namespace {
 
 using namespace dsnd;
 
-/// E4c — the distributed engine at scale: wall-clock of the full
-/// Theorem 1 CONGEST run on the arena engine. `--engine-smoke` runs only
-/// this section with the large instances (the CI perf-smoke entry point,
-/// and how BENCH_engine.json "after" records are produced with --json);
-/// the default bench run keeps the quicker sizes.
+/// E4c — the distributed engine at scale: wall-clock of the full CONGEST
+/// runs on the arena engine, all three theorem schedules through the one
+/// carving core. `--engine-smoke` runs only this section with the large
+/// instances (the CI perf-smoke entry point, and how BENCH_engine.json
+/// "after" records are produced with --json); the default bench run
+/// keeps the quicker sizes. Every case batch-validates its output with
+/// validate_decomposition_fast — at 1M vertices the O(n + m) validator
+/// is what makes checking the run (not just timing it) affordable.
 void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke) {
   bench::print_header(
-      "E4c / distributed engine scaling (k = ceil(ln n))",
+      "E4c / distributed engine scaling (Theorems 1-3)",
       "wall time of the full message-passing execution; the arena "
       "engine's zero-allocation rounds and active-vertex scheduling are "
-      "what make the 100k-1M instances routine");
-  Table table({"family", "n", "m", "rounds", "messages", "words",
-               "activations", "wall_ms"});
+      "what make the 100k-1M instances routine; every clustering is "
+      "checked by the O(n+m) batch validator (validate_ms)");
+  Table table({"schedule", "family", "n", "m", "rounds", "messages",
+               "words", "activations", "wall_ms", "validate_ms", "valid"});
+  const bench::EngineCaseOptions t1{1, 0, /*validate=*/true};
   std::vector<VertexId> sizes = smoke ? std::vector<VertexId>{100000}
                                       : std::vector<VertexId>{10000, 100000};
   for (const VertexId n : sizes) {
     bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
-                               table, json);
-    bench::engine_scaling_case("ring", make_cycle(n), table, json);
+                               table, json, t1);
+    bench::engine_scaling_case("ring", make_cycle(n), table, json, t1);
     bench::engine_scaling_case("rgg-deg8", family_by_name("rgg").make(n, 1),
-                               table, json);
+                               table, json, t1);
+  }
+  // Theorems 2 and 3 as engine workloads (the budgeted CI cases): the
+  // multistage schedule at the same 100k gnp instance, and the
+  // high-radius schedule — long phases, few colors — at a size where its
+  // ceil(k)-round phases stay inside the smoke budget.
+  {
+    const VertexId n = smoke ? 100000 : 10000;
+    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+                               table, json,
+                               bench::EngineCaseOptions{2, 0, true});
+  }
+  {
+    const VertexId n = smoke ? 20000 : 5000;
+    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+                               table, json,
+                               bench::EngineCaseOptions{3, 3, true});
   }
   if (smoke || bench::scale() >= 2) {
     // The million-vertex instances: a ring (worst case for per-round
     // sweeps — long quiet phases) and an RGG (KaGen-style geometric
-    // instance).
-    bench::engine_scaling_case("ring", make_cycle(1000000), table, json);
+    // instance). The fast-validation pass over these runs is the
+    // acceptance gate for validate_decomposition_fast at engine scale.
+    bench::engine_scaling_case("ring", make_cycle(1000000), table, json,
+                               t1);
     bench::engine_scaling_case("rgg-deg8",
                                family_by_name("rgg").make(1000000, 1),
-                               table, json);
+                               table, json, t1);
   }
   table.print(std::cout);
 }

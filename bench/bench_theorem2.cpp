@@ -33,6 +33,10 @@ int main() {
         int successes = 0;
         int diameter_runs = 0;
         bool violated = false;
+        // Promised bounds come from the run's TheoremBounds (the
+        // schedule factory), so measured-vs-promised cannot drift from
+        // the library. Identical for every seed at fixed (n, k, c).
+        TheoremBounds bounds;
         for (int s = 0; s < seeds; ++s) {
           const Graph g = family_by_name(family).make(
               n, static_cast<std::uint64_t>(s) + 1);
@@ -51,6 +55,7 @@ int main() {
           t2.c = c;
           t2.seed = seed;
           const DecompositionRun run = multistage_decomposition(g, t2);
+          bounds = run.bounds;
           t2_colors.add(run.carve.phases_used);
           t2_rounds.add(static_cast<double>(run.carve.rounds));
           if (run.carve.exhausted_within_target) ++successes;
@@ -60,23 +65,22 @@ int main() {
             ++diameter_runs;
             diameters.add(report.max_strong_diameter);
             if (report.max_strong_diameter == kInfiniteDiameter ||
-                report.max_strong_diameter > 2 * k - 2) {
+                static_cast<double>(report.max_strong_diameter) >
+                    run.bounds.strong_diameter) {
               violated = true;
             }
           }
         }
-        const double bound =
-            4.0 * k * std::pow(c * n, 1.0 / static_cast<double>(k));
         table.row()
             .cell(family)
             .cell(static_cast<std::int64_t>(n))
             .cell(k)
             .cell(t2_colors.mean(), 1)
-            .cell(bound, 0)
+            .cell(bounds.colors, 0)
             .cell(t1_colors.mean(), 1)
             .cell(diameter_runs > 0 ? format_double(diameters.max(), 0)
                                     : "-")
-            .cell(2 * k - 2)
+            .cell(bounds.strong_diameter, 0)
             .cell(t2_rounds.mean(), 0)
             .cell(static_cast<double>(successes) / seeds, 2)
             .cell(violated ? "VIOLATED" : "ok");

@@ -126,10 +126,10 @@ void report_clustering(const Graph& g, const Clustering& clustering,
 
   if (args.dump_clusters) {
     Table clusters({"cluster", "color", "center", "size", "members"});
-    const auto members = clustering.members();
+    const ClusterMembers members = clustering.members_csr();
     for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
       std::string list;
-      for (const VertexId v : members[static_cast<std::size_t>(c)]) {
+      for (const VertexId v : members.of(c)) {
         if (!list.empty()) list += ' ';
         list += std::to_string(v);
         if (list.size() > 60) {
@@ -141,8 +141,7 @@ void report_clustering(const Graph& g, const Clustering& clustering,
           .cell(static_cast<std::int64_t>(c))
           .cell(clustering.color_of(c))
           .cell(static_cast<std::int64_t>(clustering.center_of(c)))
-          .cell(static_cast<std::int64_t>(
-              members[static_cast<std::size_t>(c)].size()))
+          .cell(static_cast<std::int64_t>(members.size_of(c)))
           .cell(list);
     }
     if (args.csv) {

@@ -14,11 +14,11 @@ ColoringResult coloring_by_decomposition(const Graph& g,
   result.colors.assign(static_cast<std::size_t>(g.num_vertices()), -1);
   result.cost = pipeline_round_cost(g, clustering);
 
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
   std::vector<char> used;
   for (const auto& cluster_ids : clusters_by_color(clustering)) {
     for (const ClusterId c : cluster_ids) {
-      for (const VertexId v : members[static_cast<std::size_t>(c)]) {
+      for (const VertexId v : members.of(c)) {
         // Smallest color unused by any already-colored neighbor (frozen
         // external clusters or earlier vertices of this cluster).
         used.assign(static_cast<std::size_t>(g.degree(v)) + 2, 0);

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "graph/subgraph.hpp"
-#include "graph/traversal.hpp"
+#include "decomposition/validation.hpp"
 #include "support/assert.hpp"
 
 namespace dsnd {
@@ -22,18 +21,18 @@ PipelineCost pipeline_round_cost(const Graph& g,
                                  const Clustering& clustering) {
   DSND_REQUIRE(clustering.is_complete(),
                "pipeline requires a complete partition");
-  const auto members = clustering.members();
+  const std::vector<std::int32_t> diameters =
+      cluster_strong_diameters(g, clustering);
   PipelineCost cost;
   for (const auto& cluster_ids : clusters_by_color(clustering)) {
     if (cluster_ids.empty()) continue;
     ++cost.color_classes;
     std::int32_t class_diameter = 0;
     for (const ClusterId c : cluster_ids) {
-      const InducedSubgraph sub =
-          induced_subgraph(g, members[static_cast<std::size_t>(c)]);
-      DSND_REQUIRE(is_connected(sub.graph),
+      const std::int32_t diameter =
+          diameters[static_cast<std::size_t>(c)];
+      DSND_REQUIRE(diameter != kInfiniteDiameter,
                    "pipeline requires connected (strong-diameter) clusters");
-      const std::int32_t diameter = exact_diameter(sub.graph);
       class_diameter = std::max(class_diameter, diameter);
     }
     cost.max_cluster_diameter =

@@ -14,10 +14,10 @@ MatchingResult matching_by_decomposition(const Graph& g,
 
   std::vector<char> processed(static_cast<std::size_t>(g.num_vertices()),
                               0);
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
   for (const auto& cluster_ids : clusters_by_color(clustering)) {
     for (const ClusterId c : cluster_ids) {
-      const auto& cluster = members[static_cast<std::size_t>(c)];
+      const auto cluster = members.of(c);
       for (const VertexId v : cluster) {
         if (result.mate[static_cast<std::size_t>(v)] != -1) continue;
         // Prefer an unmatched neighbor inside this cluster, then an

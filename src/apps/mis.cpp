@@ -13,13 +13,13 @@ MisResult mis_by_decomposition(const Graph& g,
   result.cost = pipeline_round_cost(g, clustering);
 
   std::vector<char> decided(static_cast<std::size_t>(g.num_vertices()), 0);
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
   for (const auto& cluster_ids : clusters_by_color(clustering)) {
     // Clusters within one color class are pairwise non-adjacent, so their
     // local computations cannot observe each other; any processing order
     // simulates a parallel execution.
     for (const ClusterId c : cluster_ids) {
-      for (const VertexId v : members[static_cast<std::size_t>(c)]) {
+      for (const VertexId v : members.of(c)) {
         // Greedy local rule: join unless a decided neighbor is in the MIS.
         bool blocked = false;
         for (const VertexId w : g.neighbors(v)) {

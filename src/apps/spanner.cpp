@@ -16,7 +16,7 @@ namespace {
 /// Adds the edges of a BFS tree of the induced subgraph on `members`,
 /// rooted at the member closest to `center` (the center itself whenever
 /// it is a member). Members must induce a connected subgraph.
-void add_bfs_tree(const Graph& g, const std::vector<VertexId>& members,
+void add_bfs_tree(const Graph& g, std::span<const VertexId> members,
                   VertexId center, std::set<Edge>& edges) {
   const InducedSubgraph sub = induced_subgraph(g, members);
   VertexId root = 0;
@@ -64,10 +64,9 @@ SpannerResult spanner_by_decomposition(const Graph& g,
   DSND_REQUIRE(clustering.is_complete(),
                "spanner requires a complete partition");
   std::set<Edge> edges;
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
   for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
-    add_bfs_tree(g, members[static_cast<std::size_t>(c)],
-                 clustering.center_of(c), edges);
+    add_bfs_tree(g, members.of(c), clustering.center_of(c), edges);
   }
   // One connecting edge per adjacent cluster pair: the lexicographically
   // smallest, for determinism.

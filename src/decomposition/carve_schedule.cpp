@@ -1,0 +1,34 @@
+#include "decomposition/carve_schedule.hpp"
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+CarveParams CarveSchedule::params(std::uint64_t seed,
+                                  bool run_to_completion,
+                                  double margin) const {
+  DSND_REQUIRE(!betas.empty(), "carve schedule must be nonempty");
+  CarveParams p;
+  p.betas = betas;
+  p.phase_rounds = phase_rounds;
+  p.margin = margin;
+  p.radius_overflow_at = radius_overflow_at;
+  p.run_to_completion = run_to_completion;
+  p.seed = seed;
+  return p;
+}
+
+DecompositionRun run_schedule(const Graph& g, const CarveSchedule& schedule,
+                              std::uint64_t seed, bool run_to_completion,
+                              double margin) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DecompositionRun run;
+  run.carve =
+      carve_decomposition(g, schedule.params(seed, run_to_completion, margin));
+  run.bounds = schedule.bounds;
+  run.k = schedule.k;
+  run.c = schedule.c;
+  return run;
+}
+
+}  // namespace dsnd

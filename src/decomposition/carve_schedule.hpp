@@ -1,0 +1,97 @@
+// The beta-schedule abstraction at the heart of the decomposition layer.
+//
+// All three theorems of the paper are ONE carving process (carving.hpp)
+// instantiated with different beta schedules:
+//
+//   - Theorem 1: lambda phases at constant beta = ln(cn)/k;
+//   - Theorem 2: stage-decaying beta_i = ln(cn/e^i)/k, s_i phases each;
+//   - Theorem 3: lambda phases at beta = (cn)^{-1/lambda} with a
+//     real-valued radius parameter k = (cn)^{1/lambda} ln(cn).
+//
+// CarveSchedule captures everything a run needs *except* the seed: the
+// per-phase betas, the per-phase broadcast round budget (ceil(k)), the
+// Lemma 1 overflow threshold, and the bounds the theorem promises. Both
+// execution backends consume the same schedule:
+//
+//   run_schedule(g, schedule, seed)              centralized reference
+//   run_schedule_distributed(g, schedule, seed)  CONGEST protocol
+//                                                (carving_protocol.hpp)
+//
+// and produce bit-identical clusterings on the same seed, so the bounds
+// and parameters are derived exactly once per theorem — the theorem
+// factories theorem{1,2,3}_schedule() declared next to their centralized
+// drivers (elkin_neiman.hpp, multistage.hpp, high_radius.hpp) are the
+// single source of truth the wrappers, benches, and tests all share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomposition/carving.hpp"
+#include "decomposition/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// Bounds promised by whichever theorem parameterized the run; benches
+/// print measured-vs-bound and tests assert the measured side.
+struct TheoremBounds {
+  double strong_diameter = 0.0;
+  double colors = 0.0;
+  double rounds = 0.0;
+  double success_probability = 0.0;
+};
+
+/// A fully derived carving schedule: the per-phase betas plus everything
+/// the theorems promise about running them. Seed-independent, so one
+/// schedule can drive many runs (and both backends).
+struct CarveSchedule {
+  /// Human-readable tag ("theorem1(k=4, c=4)") for traces and benches.
+  std::string name;
+  /// beta for phase t; phases beyond the schedule (run_to_completion
+  /// overtime) reuse betas.back().
+  std::vector<double> betas;
+  /// Broadcast rounds per phase: ceil(k). Together with the membership
+  /// announcement each phase occupies phase_rounds + 1 simulated rounds.
+  std::int32_t phase_rounds = 1;
+  /// Lemma 1's bad-event threshold (the paper's k + 1).
+  double radius_overflow_at = 2.0;
+  /// Effective radius parameter (integer k for Theorems 1-2; the derived
+  /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
+  double k = 0.0;
+  /// Failure parameter; success probability is 1 - O(1)/c.
+  double c = 0.0;
+  TheoremBounds bounds;
+
+  /// The scheduled number of phases (the theorem's color budget lambda).
+  std::int32_t target_phases() const {
+    return static_cast<std::int32_t>(betas.size());
+  }
+
+  /// Lowers the schedule to the carving core's parameter struct. margin
+  /// and run_to_completion are run-time knobs (the E9 ablation and the
+  /// success-event experiments), not part of the schedule itself.
+  CarveParams params(std::uint64_t seed, bool run_to_completion = true,
+                     double margin = 1.0) const;
+};
+
+struct DecompositionRun {
+  CarveResult carve;
+  TheoremBounds bounds;
+  /// Copied from the schedule (see CarveSchedule::k / ::c).
+  double k = 0.0;
+  double c = 0.0;
+
+  const Clustering& clustering() const { return carve.clustering; }
+};
+
+/// Executes the schedule with the centralized carver and attaches the
+/// schedule's bounds. The CONGEST twin is run_schedule_distributed()
+/// (carving_protocol.hpp); on the same seed the two are bit-identical.
+DecompositionRun run_schedule(const Graph& g, const CarveSchedule& schedule,
+                              std::uint64_t seed,
+                              bool run_to_completion = true,
+                              double margin = 1.0);
+
+}  // namespace dsnd

@@ -264,4 +264,19 @@ DistributedCarveResult carve_decomposition_distributed(
   return result;
 }
 
+DistributedRun run_schedule_distributed(const Graph& g,
+                                        const CarveSchedule& schedule,
+                                        std::uint64_t seed,
+                                        const EngineOptions& engine_options) {
+  DistributedCarveResult result = carve_decomposition_distributed(
+      g, schedule.params(seed), engine_options);
+  DistributedRun run;
+  run.sim = result.sim;
+  run.run.carve = std::move(result.carve);
+  run.run.bounds = schedule.bounds;
+  run.run.k = schedule.k;
+  run.run.c = schedule.c;
+  return run;
+}
+
 }  // namespace dsnd

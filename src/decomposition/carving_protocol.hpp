@@ -19,8 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "decomposition/carve_schedule.hpp"
 #include "decomposition/carving.hpp"
-#include "decomposition/elkin_neiman.hpp"
 #include "graph/graph.hpp"
 #include "simulator/engine.hpp"
 #include "simulator/metrics.hpp"
@@ -32,6 +32,13 @@ struct DistributedCarveResult {
   SimMetrics sim;
 };
 
+/// A distributed decomposition run: the theorem-level result plus the
+/// simulator's message/round accounting.
+struct DistributedRun {
+  DecompositionRun run;
+  SimMetrics sim;
+};
+
 /// Runs the carving schedule as a distributed protocol on the synchronous
 /// simulator. params.margin must be 1 (the paper's rule); the schedule,
 /// phase length, overflow threshold, and completion semantics match
@@ -39,6 +46,15 @@ struct DistributedCarveResult {
 /// (scheduling, threads); the clustering is identical for every setting.
 DistributedCarveResult carve_decomposition_distributed(
     const Graph& g, const CarveParams& params,
+    const EngineOptions& engine_options = {});
+
+/// The CONGEST twin of run_schedule(): executes the schedule through the
+/// generic carving protocol and attaches the schedule's bounds. All three
+/// theorem wrappers (elkin_neiman_distributed.hpp) are thin calls to this
+/// with their theorem{1,2,3}_schedule(); on the same seed the clustering
+/// is bit-identical to run_schedule(g, schedule, seed).
+DistributedRun run_schedule_distributed(
+    const Graph& g, const CarveSchedule& schedule, std::uint64_t seed,
     const EngineOptions& engine_options = {});
 
 /// Largest message the protocol emits, in 64-bit words.

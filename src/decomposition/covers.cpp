@@ -32,10 +32,10 @@ NeighborhoodCover build_neighborhood_cover(const Graph& g,
 
   // 2. Expand every cluster by W hops in G (multi-source BFS from its
   //    members).
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
   cover.clusters.reserve(static_cast<std::size_t>(clustering.num_clusters()));
   for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
-    const auto& core = members[static_cast<std::size_t>(c)];
+    const auto core = members.of(c);
     const auto dist = multi_source_bfs(g, core);
     CoverCluster expanded;
     expanded.center = clustering.center_of(c);

@@ -1,6 +1,7 @@
 #include "decomposition/elkin_neiman.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "support/assert.hpp"
 
@@ -30,32 +31,34 @@ std::int32_t elkin_neiman_target_phases(VertexId n, std::int32_t k,
       1, static_cast<std::int32_t>(std::ceil(lambda)));
 }
 
+CarveSchedule theorem1_schedule(VertexId n, std::int32_t k, double c) {
+  DSND_REQUIRE(n >= 1, "graph must be nonempty");
+  DSND_REQUIRE(c > 0.0, "c must be positive");
+  const std::int32_t rk = resolve_k(n, k);
+  const std::int32_t lambda = elkin_neiman_target_phases(n, rk, c);
+
+  CarveSchedule schedule;
+  schedule.name = "theorem1(k=" + std::to_string(rk) + ")";
+  schedule.betas.assign(static_cast<std::size_t>(lambda),
+                        elkin_neiman_beta(n, rk, c));
+  schedule.phase_rounds = rk;
+  schedule.radius_overflow_at = static_cast<double>(rk) + 1.0;
+  schedule.k = static_cast<double>(rk);
+  schedule.c = c;
+  schedule.bounds.strong_diameter = 2.0 * rk - 2.0;
+  schedule.bounds.colors = static_cast<double>(lambda);
+  schedule.bounds.rounds =
+      static_cast<double>(rk) * static_cast<double>(lambda);
+  schedule.bounds.success_probability = 1.0 - 3.0 / c;
+  return schedule;
+}
+
 DecompositionRun elkin_neiman_decomposition(
     const Graph& g, const ElkinNeimanOptions& options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  DSND_REQUIRE(options.c > 0.0, "c must be positive");
-  const VertexId n = g.num_vertices();
-  const std::int32_t k = resolve_k(n, options.k);
-  const double beta = elkin_neiman_beta(n, k, options.c);
-  const std::int32_t lambda = elkin_neiman_target_phases(n, k, options.c);
-
-  CarveParams params;
-  params.betas.assign(static_cast<std::size_t>(lambda), beta);
-  params.phase_rounds = k;
-  params.margin = options.margin;
-  params.radius_overflow_at = static_cast<double>(k) + 1.0;
-  params.run_to_completion = options.run_to_completion;
-  params.seed = options.seed;
-
-  DecompositionRun run;
-  run.carve = carve_decomposition(g, params);
-  run.k = static_cast<double>(k);
-  run.c = options.c;
-  run.bounds.strong_diameter = 2.0 * k - 2.0;
-  run.bounds.colors = static_cast<double>(lambda);
-  run.bounds.rounds = static_cast<double>(k) * static_cast<double>(lambda);
-  run.bounds.success_probability = 1.0 - 3.0 / options.c;
-  return run;
+  return run_schedule(
+      g, theorem1_schedule(g.num_vertices(), options.k, options.c),
+      options.seed, options.run_to_completion, options.margin);
 }
 
 }  // namespace dsnd

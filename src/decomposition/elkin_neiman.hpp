@@ -4,38 +4,21 @@
 // messages. With k = ceil(ln n) this is the paper's headline strong
 // (O(log n), O(log n)) decomposition in O(log^2 n) rounds.
 //
-// This is the centralized reference implementation: it executes the same
-// random process as the CONGEST protocol (elkin_neiman_distributed.hpp)
-// on the same seed and produces bit-identical clusterings.
+// theorem1_schedule() derives the constant-beta carve schedule and the
+// promised bounds once; elkin_neiman_decomposition() runs it on the
+// centralized carver and elkin_neiman_distributed() (see
+// elkin_neiman_distributed.hpp) runs the *same* schedule as a CONGEST
+// protocol — bit-identical clusterings on the same seed.
 #pragma once
 
 #include <cstdint>
 
+#include "decomposition/carve_schedule.hpp"
 #include "decomposition/carving.hpp"
 #include "decomposition/partition.hpp"
 #include "graph/graph.hpp"
 
 namespace dsnd {
-
-/// Bounds promised by whichever theorem parameterized the run; benches
-/// print measured-vs-bound and tests assert the measured side.
-struct TheoremBounds {
-  double strong_diameter = 0.0;
-  double colors = 0.0;
-  double rounds = 0.0;
-  double success_probability = 0.0;
-};
-
-struct DecompositionRun {
-  CarveResult carve;
-  TheoremBounds bounds;
-  /// Effective radius parameter (integer k for Theorems 1-2; the derived
-  /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
-  double k = 0.0;
-  double c = 0.0;
-
-  const Clustering& clustering() const { return carve.clustering; }
-};
 
 struct ElkinNeimanOptions {
   /// Radius parameter; 0 selects ceil(ln n) (the headline regime).
@@ -60,6 +43,11 @@ double elkin_neiman_beta(VertexId n, std::int32_t k, double c);
 
 /// Resolves options.k == 0 to ceil(ln n) (at least 1).
 std::int32_t resolve_k(VertexId n, std::int32_t k);
+
+/// Theorem 1's schedule: lambda phases at constant beta = ln(cn)/k, k
+/// broadcast rounds per phase, with the theorem's bounds attached.
+/// k == 0 selects ceil(ln n).
+CarveSchedule theorem1_schedule(VertexId n, std::int32_t k, double c);
 
 DecompositionRun elkin_neiman_decomposition(const Graph& g,
                                             const ElkinNeimanOptions& options);

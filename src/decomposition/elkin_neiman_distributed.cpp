@@ -1,28 +1,17 @@
 #include "decomposition/elkin_neiman_distributed.hpp"
 
-#include <cmath>
-
 #include "support/assert.hpp"
 
 namespace dsnd {
 
 namespace {
 
-/// Shared tail: run the schedule through the generic protocol and attach
-/// the theorem bounds.
-DistributedRun run_distributed(const Graph& g, const CarveParams& params,
-                               double k, double c,
-                               const TheoremBounds& bounds,
-                               const EngineOptions& engine_options) {
-  DistributedCarveResult result =
-      carve_decomposition_distributed(g, params, engine_options);
-  DistributedRun run;
-  run.sim = result.sim;
-  run.run.carve = std::move(result.carve);
-  run.run.k = k;
-  run.run.c = c;
-  run.run.bounds = bounds;
-  return run;
+/// The distributed protocol supports only the paper's exact rule set;
+/// the ablation knobs (margin, early stop) are centralized-only.
+void require_protocol_mode(const Graph& g, bool run_to_completion) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  DSND_REQUIRE(run_to_completion,
+               "the distributed protocol always carves to completion");
 }
 
 }  // namespace
@@ -30,82 +19,30 @@ DistributedRun run_distributed(const Graph& g, const CarveParams& params,
 DistributedRun elkin_neiman_distributed(const Graph& g,
                                         const ElkinNeimanOptions& options,
                                         const EngineOptions& engine_options) {
-  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  require_protocol_mode(g, options.run_to_completion);
   DSND_REQUIRE(options.margin == 1.0,
                "the distributed protocol implements the paper's margin of 1");
-  DSND_REQUIRE(options.run_to_completion,
-               "the distributed protocol always carves to completion");
-  const VertexId n = g.num_vertices();
-  const std::int32_t k = resolve_k(n, options.k);
-  const double beta = elkin_neiman_beta(n, k, options.c);
-  const std::int32_t lambda = elkin_neiman_target_phases(n, k, options.c);
-
-  CarveParams params;
-  params.betas.assign(static_cast<std::size_t>(lambda), beta);
-  params.phase_rounds = k;
-  params.margin = 1.0;
-  params.radius_overflow_at = static_cast<double>(k) + 1.0;
-  params.seed = options.seed;
-
-  TheoremBounds bounds;
-  bounds.strong_diameter = 2.0 * k - 2.0;
-  bounds.colors = static_cast<double>(lambda);
-  bounds.rounds = static_cast<double>(k) * static_cast<double>(lambda);
-  bounds.success_probability = 1.0 - 3.0 / options.c;
-  return run_distributed(g, params, static_cast<double>(k), options.c,
-                         bounds, engine_options);
+  return run_schedule_distributed(
+      g, theorem1_schedule(g.num_vertices(), options.k, options.c),
+      options.seed, engine_options);
 }
 
 DistributedRun multistage_distributed(const Graph& g,
                                       const MultistageOptions& options,
                                       const EngineOptions& engine_options) {
-  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  DSND_REQUIRE(options.run_to_completion,
-               "the distributed protocol always carves to completion");
-  const VertexId n = g.num_vertices();
-  const std::int32_t k = resolve_k(n, options.k);
-  const double cn = options.c * static_cast<double>(n);
-
-  CarveParams params;
-  params.betas = multistage_beta_schedule(n, k, options.c);
-  params.phase_rounds = k;
-  params.margin = 1.0;
-  params.radius_overflow_at = static_cast<double>(k) + 1.0;
-  params.seed = options.seed;
-
-  TheoremBounds bounds;
-  bounds.strong_diameter = 2.0 * k - 2.0;
-  bounds.colors = 4.0 * k * std::pow(cn, 1.0 / static_cast<double>(k));
-  bounds.rounds = (static_cast<double>(k) + 1.0) * bounds.colors;
-  bounds.success_probability = 1.0 - 5.0 / options.c;
-  return run_distributed(g, params, static_cast<double>(k), options.c,
-                         bounds, engine_options);
+  require_protocol_mode(g, options.run_to_completion);
+  return run_schedule_distributed(
+      g, theorem2_schedule(g.num_vertices(), options.k, options.c),
+      options.seed, engine_options);
 }
 
 DistributedRun high_radius_distributed(const Graph& g,
                                        const HighRadiusOptions& options,
                                        const EngineOptions& engine_options) {
-  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  DSND_REQUIRE(options.run_to_completion,
-               "the distributed protocol always carves to completion");
-  const VertexId n = g.num_vertices();
-  const double k = high_radius_k(n, options.lambda, options.c);
-  const double cn = options.c * static_cast<double>(n);
-  const double beta = std::log(cn) / k;
-
-  CarveParams params;
-  params.betas.assign(static_cast<std::size_t>(options.lambda), beta);
-  params.phase_rounds = static_cast<std::int32_t>(std::ceil(k));
-  params.margin = 1.0;
-  params.radius_overflow_at = k + 1.0;
-  params.seed = options.seed;
-
-  TheoremBounds bounds;
-  bounds.strong_diameter = 2.0 * k;
-  bounds.colors = static_cast<double>(options.lambda);
-  bounds.rounds = static_cast<double>(options.lambda) * k;
-  bounds.success_probability = 1.0 - 3.0 / options.c;
-  return run_distributed(g, params, k, options.c, bounds, engine_options);
+  require_protocol_mode(g, options.run_to_completion);
+  return run_schedule_distributed(
+      g, theorem3_schedule(g.num_vertices(), options.lambda, options.c),
+      options.seed, engine_options);
 }
 
 }  // namespace dsnd

@@ -14,10 +14,13 @@
 //   step L:            final merge, join rule m1 - m2 > 1; joiners
 //                      announce departure so neighbors learn G_{t+1}.
 //
-// On the same seed each wrapper produces a clustering bit-identical to
-// its centralized counterpart — asserted by the equivalence tests.
+// Every wrapper is a thin instantiation of run_schedule_distributed()
+// (carving_protocol.hpp) with its theorem's schedule factory — the same
+// CarveSchedule its centralized counterpart executes, so on the same
+// seed the clusterings are bit-identical (asserted by the parity tests).
 #pragma once
 
+#include "decomposition/carve_schedule.hpp"
 #include "decomposition/carving_protocol.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "decomposition/high_radius.hpp"
@@ -26,11 +29,6 @@
 #include "simulator/metrics.hpp"
 
 namespace dsnd {
-
-struct DistributedRun {
-  DecompositionRun run;
-  SimMetrics sim;
-};
 
 /// Theorem 1 distributed; options.margin must be 1. engine_options tunes
 /// the simulator (scheduling, threads) without changing the clustering.

@@ -1,6 +1,7 @@
 #include "decomposition/high_radius.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "support/assert.hpp"
 
@@ -14,33 +15,33 @@ double high_radius_k(VertexId n, std::int32_t lambda, double c) {
   return std::pow(cn, 1.0 / static_cast<double>(lambda)) * std::log(cn);
 }
 
-DecompositionRun high_radius_decomposition(const Graph& g,
-                                           const HighRadiusOptions& options) {
-  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  const VertexId n = g.num_vertices();
-  const double k = high_radius_k(n, options.lambda, options.c);
-  const double cn = options.c * static_cast<double>(n);
+CarveSchedule theorem3_schedule(VertexId n, std::int32_t lambda, double c) {
+  const double k = high_radius_k(n, lambda, c);
+  const double cn = c * static_cast<double>(n);
   // beta = ln(cn)/k = (cn)^{-1/lambda}: per-phase join probability
   // e^{-beta} is a constant close to 1, so lambda phases suffice.
   const double beta = std::log(cn) / k;
 
-  CarveParams params;
-  params.betas.assign(static_cast<std::size_t>(options.lambda), beta);
-  params.phase_rounds = static_cast<std::int32_t>(std::ceil(k));
-  params.margin = 1.0;
-  params.radius_overflow_at = k + 1.0;
-  params.run_to_completion = options.run_to_completion;
-  params.seed = options.seed;
+  CarveSchedule schedule;
+  schedule.name = "theorem3(lambda=" + std::to_string(lambda) + ")";
+  schedule.betas.assign(static_cast<std::size_t>(lambda), beta);
+  schedule.phase_rounds = static_cast<std::int32_t>(std::ceil(k));
+  schedule.radius_overflow_at = k + 1.0;
+  schedule.k = k;
+  schedule.c = c;
+  schedule.bounds.strong_diameter = 2.0 * k;  // paper: 2 (cn)^{1/λ} ln(cn)
+  schedule.bounds.colors = static_cast<double>(lambda);
+  schedule.bounds.rounds = static_cast<double>(lambda) * k;
+  schedule.bounds.success_probability = 1.0 - 3.0 / c;
+  return schedule;
+}
 
-  DecompositionRun run;
-  run.carve = carve_decomposition(g, params);
-  run.k = k;
-  run.c = options.c;
-  run.bounds.strong_diameter = 2.0 * k;  // paper states 2 (cn)^{1/λ} ln(cn)
-  run.bounds.colors = static_cast<double>(options.lambda);
-  run.bounds.rounds = static_cast<double>(options.lambda) * k;
-  run.bounds.success_probability = 1.0 - 3.0 / options.c;
-  return run;
+DecompositionRun high_radius_decomposition(const Graph& g,
+                                           const HighRadiusOptions& options) {
+  DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
+  return run_schedule(
+      g, theorem3_schedule(g.num_vertices(), options.lambda, options.c),
+      options.seed, options.run_to_completion);
 }
 
 }  // namespace dsnd

@@ -5,11 +5,16 @@
 //
 // The inverse tradeoff of Theorem 1: fix the number of colors at lambda
 // and pay radius k = (cn)^{1/lambda} ln(cn) instead. Same carving with a
-// real-valued k.
+// real-valued k: theorem3_schedule() derives lambda phases at
+// beta = (cn)^{-1/lambda} with ceil(k) broadcast rounds each;
+// high_radius_decomposition() runs it centralized and
+// high_radius_distributed() (elkin_neiman_distributed.hpp) as a CONGEST
+// protocol.
 #pragma once
 
 #include <cstdint>
 
+#include "decomposition/carve_schedule.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/graph.hpp"
 
@@ -25,6 +30,10 @@ struct HighRadiusOptions {
 
 /// The derived radius parameter k = (cn)^{1/lambda} ln(cn).
 double high_radius_k(VertexId n, std::int32_t lambda, double c);
+
+/// Theorem 3's schedule: lambda phases at beta = ln(cn)/k = (cn)^{-1/lambda}
+/// with ceil(k) broadcast rounds per phase (real-valued k).
+CarveSchedule theorem3_schedule(VertexId n, std::int32_t lambda, double c);
 
 DecompositionRun high_radius_decomposition(const Graph& g,
                                            const HighRadiusOptions& options);

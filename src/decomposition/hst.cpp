@@ -115,8 +115,10 @@ HstTree build_hst(const Graph& g, const HstOptions& options) {
                            static_cast<std::uint64_t>(work.level),
                            static_cast<std::uint64_t>(work.node));
     const MpxResult partition = mpx_partition(sub.graph, mpx);
-    const auto child_members = partition.clustering.members();
-    for (const auto& child : child_members) {
+    const ClusterMembers child_members =
+        partition.clustering.members_csr();
+    for (ClusterId cc = 0; cc < child_members.num_clusters(); ++cc) {
+      const auto child = child_members.of(cc);
       std::vector<VertexId> mapped;
       mapped.reserve(child.size());
       for (const VertexId s : child) mapped.push_back(sub.parent_of(s));

@@ -1,6 +1,7 @@
 #include "decomposition/multistage.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "support/assert.hpp"
 
@@ -27,32 +28,34 @@ std::vector<double> multistage_beta_schedule(VertexId n, std::int32_t k,
   return betas;
 }
 
+CarveSchedule theorem2_schedule(VertexId n, std::int32_t k, double c) {
+  DSND_REQUIRE(n >= 1, "graph must be nonempty");
+  const std::int32_t rk = resolve_k(n, k);
+  const double cn = c * static_cast<double>(n);
+
+  CarveSchedule schedule;
+  schedule.name = "theorem2(k=" + std::to_string(rk) + ")";
+  schedule.betas = multistage_beta_schedule(n, rk, c);
+  schedule.phase_rounds = rk;
+  schedule.radius_overflow_at = static_cast<double>(rk) + 1.0;
+  schedule.k = static_cast<double>(rk);
+  schedule.c = c;
+  schedule.bounds.strong_diameter = 2.0 * rk - 2.0;
+  schedule.bounds.colors =
+      4.0 * rk * std::pow(cn, 1.0 / static_cast<double>(rk));
+  // Rounds: (k+1) simulated rounds per phase over at most `colors` phases.
+  schedule.bounds.rounds =
+      (static_cast<double>(rk) + 1.0) * schedule.bounds.colors;
+  schedule.bounds.success_probability = 1.0 - 5.0 / c;
+  return schedule;
+}
+
 DecompositionRun multistage_decomposition(const Graph& g,
                                           const MultistageOptions& options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  const VertexId n = g.num_vertices();
-  const std::int32_t k = resolve_k(n, options.k);
-  const double cn = options.c * static_cast<double>(n);
-
-  CarveParams params;
-  params.betas = multistage_beta_schedule(n, k, options.c);
-  params.phase_rounds = k;
-  params.margin = 1.0;
-  params.radius_overflow_at = static_cast<double>(k) + 1.0;
-  params.run_to_completion = options.run_to_completion;
-  params.seed = options.seed;
-
-  DecompositionRun run;
-  run.carve = carve_decomposition(g, params);
-  run.k = static_cast<double>(k);
-  run.c = options.c;
-  run.bounds.strong_diameter = 2.0 * k - 2.0;
-  run.bounds.colors =
-      4.0 * k * std::pow(cn, 1.0 / static_cast<double>(k));
-  // Rounds: (k+1) simulated rounds per phase over at most `colors` phases.
-  run.bounds.rounds = (static_cast<double>(k) + 1.0) * run.bounds.colors;
-  run.bounds.success_probability = 1.0 - 5.0 / options.c;
-  return run;
+  return run_schedule(
+      g, theorem2_schedule(g.num_vertices(), options.k, options.c),
+      options.seed, options.run_to_completion);
 }
 
 }  // namespace dsnd

@@ -8,11 +8,17 @@
 // per-phase join probability, so later (sparser) stages finish in fewer
 // phases and the total color count drops from (cn)^{1/k} ln(cn) to
 // 4k (cn)^{1/k}.
+//
+// theorem2_schedule() packages the decaying schedule + bounds;
+// multistage_decomposition() is the centralized run and
+// multistage_distributed() (elkin_neiman_distributed.hpp) the CONGEST
+// run of the same schedule.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "decomposition/carve_schedule.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/graph.hpp"
 
@@ -28,6 +34,10 @@ struct MultistageOptions {
 /// The per-phase beta schedule of Theorem 2 (one entry per phase).
 std::vector<double> multistage_beta_schedule(VertexId n, std::int32_t k,
                                              double c);
+
+/// Theorem 2's schedule: the stage-decaying betas above with k broadcast
+/// rounds per phase and the theorem's bounds. k == 0 selects ceil(ln n).
+CarveSchedule theorem2_schedule(VertexId n, std::int32_t k, double c);
 
 DecompositionRun multistage_decomposition(const Graph& g,
                                           const MultistageOptions& options);

@@ -59,15 +59,52 @@ VertexId Clustering::num_unassigned() const {
       std::count(cluster_of_.begin(), cluster_of_.end(), kNoCluster));
 }
 
-std::vector<std::vector<VertexId>> Clustering::members() const {
-  std::vector<std::vector<VertexId>> result(
-      static_cast<std::size_t>(num_clusters()));
+ClusterMembers::ClusterMembers(std::vector<std::int64_t> offsets,
+                               std::vector<VertexId> flat)
+    : offsets_(std::move(offsets)), flat_(std::move(flat)) {
+  DSND_REQUIRE(!offsets_.empty(), "CSR offsets must have at least one entry");
+  DSND_REQUIRE(offsets_.back() ==
+                   static_cast<std::int64_t>(flat_.size()),
+               "CSR offsets do not cover the flat array");
+}
+
+std::span<const VertexId> ClusterMembers::of(ClusterId c) const {
+  DSND_REQUIRE(c >= 0 && c < num_clusters(), "cluster out of range");
+  const auto begin = offsets_[static_cast<std::size_t>(c)];
+  const auto end = offsets_[static_cast<std::size_t>(c) + 1];
+  return {flat_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+ClusterMembers Clustering::members_csr() const {
+  // Counting sort by cluster id; stable, so each cluster's members come
+  // out in increasing vertex order (the same order members() produced).
+  std::vector<std::int64_t> offsets(
+      static_cast<std::size_t>(num_clusters()) + 1, 0);
+  for (const ClusterId c : cluster_of_) {
+    if (c != kNoCluster) ++offsets[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < offsets.size(); ++c) {
+    offsets[c] += offsets[c - 1];
+  }
+  std::vector<VertexId> flat(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (std::size_t v = 0; v < cluster_of_.size(); ++v) {
     const ClusterId c = cluster_of_[v];
     if (c != kNoCluster) {
-      result[static_cast<std::size_t>(c)].push_back(
-          static_cast<VertexId>(v));
+      flat[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] =
+          static_cast<VertexId>(v);
     }
+  }
+  return ClusterMembers(std::move(offsets), std::move(flat));
+}
+
+std::vector<std::vector<VertexId>> Clustering::members() const {
+  const ClusterMembers csr = members_csr();
+  std::vector<std::vector<VertexId>> result(
+      static_cast<std::size_t>(num_clusters()));
+  for (ClusterId c = 0; c < num_clusters(); ++c) {
+    const auto span = csr.of(c);
+    result[static_cast<std::size_t>(c)].assign(span.begin(), span.end());
   }
   return result;
 }

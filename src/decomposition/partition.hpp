@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -17,6 +18,39 @@ namespace dsnd {
 
 using ClusterId = std::int32_t;
 inline constexpr ClusterId kNoCluster = -1;
+
+/// Per-cluster member lists in CSR form (offsets + one flat array):
+/// one allocation pair regardless of cluster count, members of cluster c
+/// in increasing vertex order. Built in O(n) by Clustering::members_csr;
+/// this is what the batch validator and the application pipelines iterate
+/// instead of materializing a vector-of-vectors.
+class ClusterMembers {
+ public:
+  ClusterMembers() = default;
+  ClusterMembers(std::vector<std::int64_t> offsets,
+                 std::vector<VertexId> flat);
+
+  ClusterId num_clusters() const {
+    return static_cast<ClusterId>(offsets_.empty() ? 0
+                                                   : offsets_.size() - 1);
+  }
+
+  /// Members of cluster c, in increasing vertex order.
+  std::span<const VertexId> of(ClusterId c) const;
+
+  VertexId size_of(ClusterId c) const {
+    return static_cast<VertexId>(of(c).size());
+  }
+
+  /// Total assigned vertices (== n for complete partitions).
+  std::int64_t total_members() const {
+    return static_cast<std::int64_t>(flat_.size());
+  }
+
+ private:
+  std::vector<std::int64_t> offsets_;  // size num_clusters + 1
+  std::vector<VertexId> flat_;         // one entry per assigned vertex
+};
 
 class Clustering {
  public:
@@ -47,7 +81,12 @@ class Clustering {
   /// Number of vertices with no cluster.
   VertexId num_unassigned() const;
 
-  /// Member lists indexed by cluster id.
+  /// Member lists as a CSR index (offsets + flat array), built in O(n).
+  /// Preferred over members(): one allocation pair instead of one vector
+  /// per cluster.
+  ClusterMembers members_csr() const;
+  /// Member lists indexed by cluster id. Thin convenience wrapper over
+  /// members_csr() kept for tests and one-off consumers.
   std::vector<std::vector<VertexId>> members() const;
   /// Sizes indexed by cluster id.
   std::vector<VertexId> cluster_sizes() const;

@@ -3,73 +3,93 @@
 #include <algorithm>
 
 #include "decomposition/supergraph.hpp"
-#include "graph/subgraph.hpp"
 #include "graph/traversal.hpp"
 #include "support/assert.hpp"
 
 namespace dsnd {
 
-ClusterShape analyze_cluster(const Graph& g,
-                             std::span<const VertexId> members,
-                             VertexId center) {
-  DSND_REQUIRE(!members.empty(), "cluster must be nonempty");
-  ClusterShape shape;
-  shape.size = static_cast<VertexId>(members.size());
+namespace {
 
-  const InducedSubgraph sub = induced_subgraph(g, members);
-  shape.connected = is_connected(sub.graph);
+/// Shared scratch for restricted BFS: one distance array and one queue,
+/// sized once and reused across every cluster (and every source), so a
+/// whole validation pass performs O(1) allocations. Visited entries are
+/// reset by walking the queue, keeping each sweep O(|C| + m_C).
+struct BfsArena {
+  std::vector<std::int32_t> dist;  // -1 = unvisited
+  std::vector<VertexId> queue;
 
-  // Strong diameter and center radius inside the induced subgraph.
-  shape.strong_diameter = 0;
-  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
-    const auto dist = bfs_distances(sub.graph, v);
-    for (const std::int32_t d : dist) {
-      if (d == kUnreachable) {
-        shape.strong_diameter = kInfiniteDiameter;
-      } else if (shape.strong_diameter != kInfiniteDiameter) {
-        shape.strong_diameter = std::max(shape.strong_diameter, d);
-      }
+  explicit BfsArena(std::size_t n) : dist(n, -1), queue(n, 0) {}
+};
+
+struct SweepResult {
+  VertexId reached = 0;
+  std::int32_t ecc = 0;       // max distance over reached vertices
+  VertexId farthest = -1;     // a vertex attaining ecc
+};
+
+/// BFS from `source` over the vertices v with in_cluster(v); resets the
+/// arena before returning.
+template <typename InCluster>
+SweepResult restricted_bfs(const Graph& g, VertexId source,
+                           const InCluster& in_cluster, BfsArena& arena) {
+  SweepResult result;
+  result.farthest = source;
+  arena.dist[static_cast<std::size_t>(source)] = 0;
+  arena.queue[0] = source;
+  VertexId head = 0;
+  VertexId tail = 1;
+  while (head < tail) {
+    const VertexId v = arena.queue[static_cast<std::size_t>(head++)];
+    const std::int32_t d = arena.dist[static_cast<std::size_t>(v)];
+    if (d > result.ecc) {
+      result.ecc = d;
+      result.farthest = v;
+    }
+    for (const VertexId w : g.neighbors(v)) {
+      if (!in_cluster(w)) continue;
+      if (arena.dist[static_cast<std::size_t>(w)] != -1) continue;
+      arena.dist[static_cast<std::size_t>(w)] = d + 1;
+      arena.queue[static_cast<std::size_t>(tail++)] = w;
     }
   }
-
-  VertexId center_sub = -1;
-  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
-    if (sub.parent_of(v) == center) center_sub = v;
+  result.reached = tail;
+  for (VertexId i = 0; i < tail; ++i) {
+    arena.dist[static_cast<std::size_t>(
+        arena.queue[static_cast<std::size_t>(i)])] = -1;
   }
-  if (center_sub == -1) {
-    // Center not a member — possible only in truncated/overflow runs.
-    shape.radius_from_center = kInfiniteDiameter;
-  } else {
-    shape.radius_from_center = 0;
-    for (const std::int32_t d : bfs_distances(sub.graph, center_sub)) {
-      if (d == kUnreachable) {
-        shape.radius_from_center = kInfiniteDiameter;
-        break;
-      }
-      shape.radius_from_center = std::max(shape.radius_from_center, d);
-    }
-  }
-
-  // Weak diameter: distances in the whole graph between member pairs.
-  shape.weak_diameter = 0;
-  for (const VertexId v : members) {
-    const auto dist = bfs_distances(g, v);
-    for (const VertexId w : members) {
-      const std::int32_t d = dist[static_cast<std::size_t>(w)];
-      if (d == kUnreachable) {
-        shape.weak_diameter = kInfiniteDiameter;
-        break;
-      }
-      if (shape.weak_diameter != kInfiniteDiameter) {
-        shape.weak_diameter = std::max(shape.weak_diameter, d);
-      }
-    }
-    if (shape.weak_diameter == kInfiniteDiameter) break;
-  }
-  return shape;
+  return result;
 }
 
-namespace {
+/// Exact per-cluster strong metrics: connectivity, all-pairs diameter,
+/// and the center's eccentricity, via restricted BFS (no copies).
+struct StrongStats {
+  bool connected = false;
+  std::int32_t diameter = 0;           // kInfiniteDiameter if disconnected
+  std::int32_t radius_from_center = 0; // kInfiniteDiameter if unreachable
+};
+
+template <typename InCluster>
+StrongStats exact_strong_stats(const Graph& g,
+                               std::span<const VertexId> members,
+                               VertexId center, const InCluster& in_cluster,
+                               BfsArena& arena) {
+  StrongStats stats;
+  const auto size = static_cast<VertexId>(members.size());
+  stats.connected = true;
+  for (const VertexId source : members) {
+    const SweepResult sweep = restricted_bfs(g, source, in_cluster, arena);
+    if (sweep.reached < size) stats.connected = false;
+    stats.diameter = std::max(stats.diameter, sweep.ecc);
+    if (source == center) stats.radius_from_center = sweep.ecc;
+  }
+  if (!stats.connected) stats.diameter = kInfiniteDiameter;
+  const bool center_is_member =
+      center >= 0 && in_cluster(center);
+  if (!center_is_member || !stats.connected) {
+    stats.radius_from_center = kInfiniteDiameter;
+  }
+  return stats;
+}
 
 /// Folds a per-cluster diameter into a running maximum where
 /// kInfiniteDiameter is absorbing.
@@ -81,7 +101,55 @@ void fold_max(std::int32_t& acc, std::int32_t value) {
   }
 }
 
+std::int32_t weak_diameter_of(const Graph& g,
+                              std::span<const VertexId> members) {
+  std::int32_t weak = 0;
+  for (const VertexId v : members) {
+    const auto dist = bfs_distances(g, v);
+    for (const VertexId w : members) {
+      const std::int32_t d = dist[static_cast<std::size_t>(w)];
+      if (d == kUnreachable) return kInfiniteDiameter;
+      weak = std::max(weak, d);
+    }
+  }
+  return weak;
+}
+
 }  // namespace
+
+ClusterShape analyze_cluster(const Graph& g,
+                             std::span<const VertexId> members,
+                             VertexId center) {
+  DSND_REQUIRE(!members.empty(), "cluster must be nonempty");
+  ClusterShape shape;
+  shape.size = static_cast<VertexId>(members.size());
+
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<char> mask(n, 0);
+  for (const VertexId v : members) {
+    DSND_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < n,
+                 "member out of range");
+    DSND_REQUIRE(!mask[static_cast<std::size_t>(v)],
+                 "duplicate member in cluster");
+    mask[static_cast<std::size_t>(v)] = 1;
+  }
+  const auto in_cluster = [&mask](VertexId v) {
+    return mask[static_cast<std::size_t>(v)] != 0;
+  };
+
+  BfsArena arena(n);
+  // An out-of-range center (legal input: it just means "no center among
+  // the members") must not index the mask.
+  const VertexId center_checked =
+      center >= 0 && static_cast<std::size_t>(center) < n ? center : -1;
+  const StrongStats stats =
+      exact_strong_stats(g, members, center_checked, in_cluster, arena);
+  shape.connected = stats.connected;
+  shape.strong_diameter = stats.diameter;
+  shape.radius_from_center = stats.radius_from_center;
+  shape.weak_diameter = weak_diameter_of(g, members);
+  return shape;
+}
 
 bool DecompositionReport::is_strong_decomposition(
     std::int32_t diameter_bound, std::int32_t color_bound) const {
@@ -109,36 +177,111 @@ DecompositionReport validate_decomposition(const Graph& g,
   report.num_clusters = clustering.num_clusters();
   report.num_colors = clustering.num_colors();
 
-  const auto members = clustering.members();
+  const ClusterMembers members = clustering.members_csr();
+  BfsArena arena(static_cast<std::size_t>(g.num_vertices()));
   std::int64_t total_size = 0;
   for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
-    const auto& cluster = members[static_cast<std::size_t>(c)];
+    const auto cluster = members.of(c);
     DSND_CHECK(!cluster.empty(), "empty cluster in clustering");
     total_size += static_cast<std::int64_t>(cluster.size());
     report.max_cluster_size =
         std::max(report.max_cluster_size,
                  static_cast<VertexId>(cluster.size()));
 
-    ClusterShape shape;
+    const auto in_cluster = [&clustering, c](VertexId v) {
+      return clustering.cluster_of(v) == c;
+    };
+    const StrongStats stats = exact_strong_stats(
+        g, cluster, clustering.center_of(c), in_cluster, arena);
+    if (!stats.connected) ++report.disconnected_clusters;
+    fold_max(report.max_strong_diameter, stats.diameter);
+    fold_max(report.max_radius_from_center, stats.radius_from_center);
     if (compute_weak) {
-      shape = analyze_cluster(g, cluster, clustering.center_of(c));
-    } else {
-      // Strong-only analysis: reuse analyze_cluster but skip the O(n*m)
-      // weak sweep by restricting members to the induced graph.
-      const InducedSubgraph sub = induced_subgraph(g, cluster);
-      shape.size = static_cast<VertexId>(cluster.size());
-      shape.connected = is_connected(sub.graph);
-      shape.strong_diameter =
-          shape.connected ? exact_diameter(sub.graph) : kInfiniteDiameter;
-      shape.weak_diameter = 0;
-      shape.radius_from_center = 0;
+      fold_max(report.max_weak_diameter, weak_diameter_of(g, cluster));
     }
+  }
+  report.all_clusters_connected = report.disconnected_clusters == 0;
+  report.avg_cluster_size =
+      clustering.num_clusters() == 0
+          ? 0.0
+          : static_cast<double>(total_size) /
+                static_cast<double>(clustering.num_clusters());
+  return report;
+}
 
-    if (!shape.connected) ++report.disconnected_clusters;
-    fold_max(report.max_strong_diameter, shape.strong_diameter);
-    if (compute_weak) {
-      fold_max(report.max_weak_diameter, shape.weak_diameter);
-      fold_max(report.max_radius_from_center, shape.radius_from_center);
+std::vector<std::int32_t> cluster_strong_diameters(
+    const Graph& g, const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  const ClusterMembers members = clustering.members_csr();
+  BfsArena arena(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<std::int32_t> diameters(
+      static_cast<std::size_t>(clustering.num_clusters()), 0);
+  for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
+    const auto in_cluster = [&clustering, c](VertexId v) {
+      return clustering.cluster_of(v) == c;
+    };
+    diameters[static_cast<std::size_t>(c)] =
+        exact_strong_stats(g, members.of(c), clustering.center_of(c),
+                           in_cluster, arena)
+            .diameter;
+  }
+  return diameters;
+}
+
+bool FastDecompositionReport::is_strong_decomposition(
+    std::int32_t diameter_bound, std::int32_t color_bound) const {
+  return complete && proper_phase_coloring && all_clusters_connected &&
+         strong_diameter_upper != kInfiniteDiameter &&
+         strong_diameter_upper <= diameter_bound &&
+         num_colors <= color_bound;
+}
+
+FastDecompositionReport validate_decomposition_fast(
+    const Graph& g, const Clustering& clustering) {
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering does not match graph");
+  FastDecompositionReport report;
+  report.complete = clustering.is_complete();
+  report.proper_phase_coloring = phase_coloring_is_proper(g, clustering);
+  report.num_clusters = clustering.num_clusters();
+  report.num_colors = clustering.num_colors();
+
+  const ClusterMembers members = clustering.members_csr();
+  BfsArena arena(static_cast<std::size_t>(g.num_vertices()));
+  std::int64_t total_size = 0;
+  for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
+    const auto cluster = members.of(c);
+    DSND_CHECK(!cluster.empty(), "empty cluster in clustering");
+    const auto size = static_cast<VertexId>(cluster.size());
+    total_size += static_cast<std::int64_t>(size);
+    report.max_cluster_size = std::max(report.max_cluster_size, size);
+
+    const VertexId center = clustering.center_of(c);
+    const bool center_is_member = clustering.cluster_of(center) == c;
+    if (!center_is_member) ++report.centerless_clusters;
+    const VertexId root = center_is_member ? center : cluster.front();
+
+    const auto in_cluster = [&clustering, c](VertexId v) {
+      return clustering.cluster_of(v) == c;
+    };
+    // Sweep 1 from the root: connectivity, the exact center radius (when
+    // the root is the center), and the 2*ecc upper bound.
+    const SweepResult first = restricted_bfs(g, root, in_cluster, arena);
+    const bool connected = first.reached == size;
+    if (!connected) ++report.disconnected_clusters;
+    fold_max(report.max_radius_from_center,
+             connected && center_is_member ? first.ecc : kInfiniteDiameter);
+    fold_max(report.strong_diameter_upper,
+             connected ? 2 * first.ecc : kInfiniteDiameter);
+    // Sweep 2 from the farthest vertex: the double-sweep diameter lower
+    // bound (exact on trees).
+    if (connected) {
+      const SweepResult second =
+          restricted_bfs(g, first.farthest, in_cluster, arena);
+      fold_max(report.strong_diameter_lower, second.ecc);
+    } else {
+      fold_max(report.strong_diameter_lower, kInfiniteDiameter);
     }
   }
   report.all_clusters_connected = report.disconnected_clusters == 0;

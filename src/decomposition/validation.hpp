@@ -1,7 +1,26 @@
-// Brute-force honest validators for network decompositions. These are the
-// ground truth the tests and benches assert against: strong diameter by
-// per-cluster BFS inside the induced subgraph, weak diameter by BFS in
-// the whole graph, supergraph coloring edge-by-edge.
+// Honest validators for network decompositions, in two tiers.
+//
+// validate_decomposition is the brute-force ground truth the tests and
+// benches assert against: exact strong diameter by all-source BFS inside
+// every cluster, weak diameter by BFS in the whole graph, supergraph
+// coloring edge-by-edge. Per-cluster work is all-pairs, so it is
+// O(sum_C |C| * (|C| + m_C)) — fine for bench-sized graphs, hopeless at
+// engine scale.
+//
+// validate_decomposition_fast is the O(n + m) batch tier for the
+// million-vertex engine runs: two restricted BFS sweeps per cluster over
+// shared scratch arrays (no induced-subgraph copies, no per-cluster
+// allocations). It checks completeness, the phase coloring, connectivity
+// and center radius *exactly*, and brackets the strong diameter between
+// a double-sweep lower bound and the 2 * radius upper bound — the upper
+// bound is precisely the certificate the paper's Claim 3 provides
+// (radius <= k-1 from the center gives strong diameter <= 2k-2), so
+// is_strong_decomposition() on the fast report is a sound, conservative
+// check of the theorems' guarantees.
+//
+// Neither tier copies subgraphs: BFS is restricted by comparing cluster
+// ids (batch paths) or a membership mask (the single-cluster
+// analyze_cluster API).
 #pragma once
 
 #include <cstdint>
@@ -58,10 +77,52 @@ struct DecompositionReport {
                              std::int32_t color_bound) const;
 };
 
-/// Full validation pass. compute_weak toggles the O(n*m) weak-diameter
-/// sweep (the strong sweep is cheap because clusters are small).
+/// Full brute-force validation pass. compute_weak toggles the O(n*m)
+/// weak-diameter sweep; the strong sweep (all-source BFS per cluster) and
+/// the exact center radius always run.
 DecompositionReport validate_decomposition(const Graph& g,
                                            const Clustering& clustering,
                                            bool compute_weak = true);
+
+/// Exact strong diameter of every cluster (kInfiniteDiameter where
+/// disconnected), computed in one batch of restricted BFS over shared
+/// scratch — the all-pairs cost without any induced-subgraph copies.
+std::vector<std::int32_t> cluster_strong_diameters(
+    const Graph& g, const Clustering& clustering);
+
+/// The O(n + m) report. Exact fields: completeness, coloring, counts,
+/// connectivity, center radius, sizes. The strong diameter is bracketed:
+///   strong_diameter_lower <= max_C diam(G(C)) <= strong_diameter_upper.
+struct FastDecompositionReport {
+  bool complete = false;
+  bool proper_phase_coloring = false;
+  std::int32_t num_clusters = 0;
+  std::int32_t num_colors = 0;
+  std::int32_t disconnected_clusters = 0;
+  bool all_clusters_connected = false;
+  /// Clusters whose recorded center is not one of their members (only
+  /// possible in truncated/overflow runs).
+  std::int32_t centerless_clusters = 0;
+  /// Exact max over clusters of the center's eccentricity in G(C);
+  /// kInfiniteDiameter if any cluster is disconnected or centerless.
+  std::int32_t max_radius_from_center = 0;
+  /// Double-sweep lower bound on the max strong diameter (exact on trees).
+  std::int32_t strong_diameter_lower = 0;
+  /// 2 * center-radius upper bound — Claim 3's certificate.
+  std::int32_t strong_diameter_upper = 0;
+  double avg_cluster_size = 0.0;
+  VertexId max_cluster_size = 0;
+
+  /// Sound (conservative) strong-decomposition check: certifies via the
+  /// upper bound, so `true` is always correct; a run that only just meets
+  /// the bound may need the brute-force tier to confirm.
+  bool is_strong_decomposition(std::int32_t diameter_bound,
+                               std::int32_t color_bound) const;
+};
+
+/// Batch validator for engine-scale runs: O(n + m) total, two restricted
+/// BFS sweeps per cluster over arena scratch shared across clusters.
+FastDecompositionReport validate_decomposition_fast(
+    const Graph& g, const Clustering& clustering);
 
 }  // namespace dsnd

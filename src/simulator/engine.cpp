@@ -212,39 +212,43 @@ void SyncEngine::collect_round() {
   // Wake requests into the calendar, then fire the next round's bucket
   // and build the next active list: receivers with mail plus due wakes,
   // deduplicated, in vertex-id order (so the execution order — and hence
-  // every inbox order — matches the run-every-vertex mode).
-  for (const auto& staging : staging_) {
-    for (const auto& [target, v] : staging.wakes) ring_insert(target, v);
-  }
-  const std::uint64_t next = static_cast<std::uint64_t>(current_round_) + 1;
-  const std::uint64_t stamp = next + 1;
-  active_.clear();
-  for (const VertexId to : touched_) {
-    active_.push_back(to);
-    active_stamp_[static_cast<std::size_t>(to)] = stamp;
-  }
-  auto& due = wake_ring_[next & (wake_ring_.size() - 1)];
-  for (const auto& [target, v] : due) {
-    if (active_stamp_[static_cast<std::size_t>(v)] != stamp) {
-      active_stamp_[static_cast<std::size_t>(v)] = stamp;
-      active_.push_back(v);
+  // every inbox order — matches the run-every-vertex mode). In
+  // run-every-vertex mode (scheduled_ false) none of this is ever read,
+  // so staged wakes are simply dropped with the rest of the staging.
+  if (scheduled_) {
+    for (const auto& staging : staging_) {
+      for (const auto& [target, v] : staging.wakes) ring_insert(target, v);
     }
-  }
-  pending_wakes_ -= due.size();
-  due.clear();
-  // Vertex-id order keeps execution (and inbox) order identical to the
-  // run-every-vertex mode. Dense lists are rebuilt by scanning the stamp
-  // array — O(n), cheaper than sorting a large fraction of n; sparse
-  // lists are sorted directly.
-  if (active_.size() >= active_stamp_.size() / 16) {
+    const std::uint64_t next = static_cast<std::uint64_t>(current_round_) + 1;
+    const std::uint64_t stamp = next + 1;
     active_.clear();
-    for (std::size_t v = 0; v < active_stamp_.size(); ++v) {
-      if (active_stamp_[v] == stamp) {
-        active_.push_back(static_cast<VertexId>(v));
+    for (const VertexId to : touched_) {
+      active_.push_back(to);
+      active_stamp_[static_cast<std::size_t>(to)] = stamp;
+    }
+    auto& due = wake_ring_[next & (wake_ring_.size() - 1)];
+    for (const auto& [target, v] : due) {
+      if (active_stamp_[static_cast<std::size_t>(v)] != stamp) {
+        active_stamp_[static_cast<std::size_t>(v)] = stamp;
+        active_.push_back(v);
       }
     }
-  } else if (!std::is_sorted(active_.begin(), active_.end())) {
-    std::sort(active_.begin(), active_.end());
+    pending_wakes_ -= due.size();
+    due.clear();
+    // Vertex-id order keeps execution (and inbox) order identical to the
+    // run-every-vertex mode. Dense lists are rebuilt by scanning the
+    // stamp array — O(n), cheaper than sorting a large fraction of n;
+    // sparse lists are sorted directly.
+    if (active_.size() >= active_stamp_.size() / 16) {
+      active_.clear();
+      for (std::size_t v = 0; v < active_stamp_.size(); ++v) {
+        if (active_stamp_[v] == stamp) {
+          active_.push_back(static_cast<VertexId>(v));
+        }
+      }
+    } else if (!std::is_sorted(active_.begin(), active_.end())) {
+      std::sort(active_.begin(), active_.end());
+    }
   }
 
   for (auto& staging : staging_) staging.clear_round();

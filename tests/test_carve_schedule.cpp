@@ -1,0 +1,162 @@
+// The schedule abstraction itself: the theorem factories are the single
+// source of truth for betas/bounds, the wrappers are thin instantiations
+// of run_schedule, and the schedule totals match the paper's formulas.
+#include "decomposition/carve_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "decomposition/elkin_neiman.hpp"
+#include "decomposition/high_radius.hpp"
+#include "decomposition/multistage.hpp"
+#include "graph/generators.hpp"
+
+namespace dsnd {
+namespace {
+
+TEST(CarveSchedule, Theorem1FactoryMatchesFormulas) {
+  const VertexId n = 256;
+  const std::int32_t k = 4;
+  const double c = 4.0;
+  const CarveSchedule s = theorem1_schedule(n, k, c);
+  EXPECT_EQ(s.target_phases(), elkin_neiman_target_phases(n, k, c));
+  for (const double beta : s.betas) {
+    EXPECT_DOUBLE_EQ(beta, elkin_neiman_beta(n, k, c));
+  }
+  EXPECT_EQ(s.phase_rounds, k);
+  EXPECT_DOUBLE_EQ(s.radius_overflow_at, k + 1.0);
+  EXPECT_DOUBLE_EQ(s.k, static_cast<double>(k));
+  EXPECT_DOUBLE_EQ(s.bounds.strong_diameter, 2.0 * k - 2.0);
+  EXPECT_DOUBLE_EQ(s.bounds.colors, static_cast<double>(s.target_phases()));
+  EXPECT_DOUBLE_EQ(s.bounds.rounds, k * s.bounds.colors);
+  EXPECT_DOUBLE_EQ(s.bounds.success_probability, 1.0 - 3.0 / c);
+}
+
+TEST(CarveSchedule, Theorem1AutoKSelectsCeilLogN) {
+  const CarveSchedule s = theorem1_schedule(1024, 0, 4.0);
+  EXPECT_DOUBLE_EQ(s.k, std::ceil(std::log(1024.0)));
+  EXPECT_EQ(s.phase_rounds, static_cast<std::int32_t>(s.k));
+}
+
+TEST(CarveSchedule, Theorem2TotalsMatchBetaSchedule) {
+  const VertexId n = 256;
+  const std::int32_t k = 4;
+  const double c = 6.0;
+  const CarveSchedule s = theorem2_schedule(n, k, c);
+  const auto betas = multistage_beta_schedule(n, k, c);
+  ASSERT_EQ(s.betas.size(), betas.size());
+  for (std::size_t t = 0; t < betas.size(); ++t) {
+    EXPECT_DOUBLE_EQ(s.betas[t], betas[t]) << "phase " << t;
+  }
+  // Total scheduled phases stay within the theorem's 4k(cn)^{1/k} color
+  // budget plus per-stage rounding slack.
+  const double cn = c * static_cast<double>(n);
+  EXPECT_DOUBLE_EQ(s.bounds.colors, 4.0 * k * std::pow(cn, 1.0 / k));
+  EXPECT_LE(static_cast<double>(s.target_phases()),
+            s.bounds.colors + std::log(static_cast<double>(n)) + 2.0);
+  EXPECT_DOUBLE_EQ(s.bounds.success_probability, 1.0 - 5.0 / c);
+  // Stage-decaying: betas never increase across the schedule.
+  for (std::size_t t = 1; t < s.betas.size(); ++t) {
+    EXPECT_LE(s.betas[t], s.betas[t - 1]);
+  }
+}
+
+TEST(CarveSchedule, Theorem3RealKRounds) {
+  const VertexId n = 100;
+  const std::int32_t lambda = 2;
+  const double c = 4.0;
+  const CarveSchedule s = theorem3_schedule(n, lambda, c);
+  const double k = high_radius_k(n, lambda, c);
+  // The real-valued k shows up as ceil(k) broadcast rounds per phase and
+  // exactly lambda scheduled phases at beta = ln(cn)/k = (cn)^{-1/lambda}.
+  EXPECT_DOUBLE_EQ(s.k, k);
+  EXPECT_EQ(s.phase_rounds, static_cast<std::int32_t>(std::ceil(k)));
+  EXPECT_EQ(s.target_phases(), lambda);
+  const double cn = c * static_cast<double>(n);
+  for (const double beta : s.betas) {
+    EXPECT_NEAR(beta, std::pow(cn, -1.0 / lambda), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(s.radius_overflow_at, k + 1.0);
+  EXPECT_DOUBLE_EQ(s.bounds.strong_diameter, 2.0 * k);
+  EXPECT_DOUBLE_EQ(s.bounds.colors, static_cast<double>(lambda));
+  EXPECT_DOUBLE_EQ(s.bounds.rounds, lambda * k);
+}
+
+TEST(CarveSchedule, ParamsLowersScheduleVerbatim) {
+  const CarveSchedule s = theorem2_schedule(128, 3, 6.0);
+  const CarveParams p = s.params(/*seed=*/77, /*run_to_completion=*/false,
+                                 /*margin=*/0.5);
+  EXPECT_EQ(p.betas, s.betas);
+  EXPECT_EQ(p.phase_rounds, s.phase_rounds);
+  EXPECT_DOUBLE_EQ(p.radius_overflow_at, s.radius_overflow_at);
+  EXPECT_EQ(p.seed, 77u);
+  EXPECT_FALSE(p.run_to_completion);
+  EXPECT_DOUBLE_EQ(p.margin, 0.5);
+}
+
+TEST(CarveSchedule, WrappersAreThinScheduleInstantiations) {
+  // The options-struct entry points must behave exactly like building
+  // the schedule and calling run_schedule — no second derivation path.
+  const Graph g = make_gnp(120, 0.06, 9);
+  const std::uint64_t seed = 31;
+  {
+    ElkinNeimanOptions options;
+    options.k = 4;
+    options.seed = seed;
+    const DecompositionRun a = elkin_neiman_decomposition(g, options);
+    const DecompositionRun b = run_schedule(
+        g, theorem1_schedule(g.num_vertices(), 4, options.c), seed);
+    EXPECT_EQ(a.carve.phases_used, b.carve.phases_used);
+    EXPECT_DOUBLE_EQ(a.bounds.colors, b.bounds.colors);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(a.clustering().cluster_of(v), b.clustering().cluster_of(v));
+    }
+  }
+  {
+    MultistageOptions options;
+    options.k = 3;
+    options.seed = seed;
+    const DecompositionRun a = multistage_decomposition(g, options);
+    const DecompositionRun b = run_schedule(
+        g, theorem2_schedule(g.num_vertices(), 3, options.c), seed);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(a.clustering().cluster_of(v), b.clustering().cluster_of(v));
+    }
+  }
+  {
+    HighRadiusOptions options;
+    options.lambda = 3;
+    options.seed = seed;
+    const DecompositionRun a = high_radius_decomposition(g, options);
+    const DecompositionRun b = run_schedule(
+        g, theorem3_schedule(g.num_vertices(), 3, options.c), seed);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(a.clustering().cluster_of(v), b.clustering().cluster_of(v));
+    }
+  }
+}
+
+TEST(CarveSchedule, RunScheduleAttachesBounds) {
+  const Graph g = make_path(60);
+  const CarveSchedule s = theorem1_schedule(60, 3, 4.0);
+  const DecompositionRun run = run_schedule(g, s, 5);
+  EXPECT_DOUBLE_EQ(run.bounds.strong_diameter, s.bounds.strong_diameter);
+  EXPECT_DOUBLE_EQ(run.bounds.colors, s.bounds.colors);
+  EXPECT_DOUBLE_EQ(run.k, s.k);
+  EXPECT_DOUBLE_EQ(run.c, s.c);
+  EXPECT_EQ(run.carve.target_phases, s.target_phases());
+}
+
+TEST(CarveSchedule, RejectsBadParameters) {
+  EXPECT_THROW(theorem1_schedule(0, 3, 4.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_schedule(100, -1, 4.0), std::invalid_argument);
+  EXPECT_THROW(theorem2_schedule(100, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(theorem3_schedule(100, 0, 4.0), std::invalid_argument);
+  CarveSchedule empty;
+  EXPECT_THROW(empty.params(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsnd

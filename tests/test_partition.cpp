@@ -50,6 +50,44 @@ TEST(Clustering, MembersGrouping) {
             (std::vector<VertexId>{2, 1}));
 }
 
+TEST(Clustering, MembersCsrMatchesMembers) {
+  Clustering c(7);
+  const ClusterId a = c.add_cluster(5, 0);
+  const ClusterId b = c.add_cluster(1, 1);
+  c.assign(5, a);
+  c.assign(0, a);
+  c.assign(3, a);
+  c.assign(1, b);
+  c.assign(6, b);
+  // vertices 2 and 4 stay unassigned
+  const ClusterMembers csr = c.members_csr();
+  ASSERT_EQ(csr.num_clusters(), 2);
+  EXPECT_EQ(csr.total_members(), 5);
+  // Members come out in increasing vertex order, same as members().
+  const auto span_a = csr.of(a);
+  EXPECT_EQ(std::vector<VertexId>(span_a.begin(), span_a.end()),
+            (std::vector<VertexId>{0, 3, 5}));
+  const auto span_b = csr.of(b);
+  EXPECT_EQ(std::vector<VertexId>(span_b.begin(), span_b.end()),
+            (std::vector<VertexId>{1, 6}));
+  EXPECT_EQ(csr.size_of(a), 3);
+  EXPECT_EQ(csr.size_of(b), 2);
+  const auto nested = c.members();
+  for (ClusterId id = 0; id < csr.num_clusters(); ++id) {
+    const auto span = csr.of(id);
+    EXPECT_EQ(nested[static_cast<std::size_t>(id)],
+              (std::vector<VertexId>(span.begin(), span.end())));
+  }
+  EXPECT_THROW(csr.of(2), std::invalid_argument);
+}
+
+TEST(Clustering, MembersCsrEmptyClustering) {
+  const Clustering c(3);  // no clusters yet
+  const ClusterMembers csr = c.members_csr();
+  EXPECT_EQ(csr.num_clusters(), 0);
+  EXPECT_EQ(csr.total_members(), 0);
+}
+
 TEST(Clustering, DoubleAssignRejected) {
   Clustering c(2);
   const ClusterId a = c.add_cluster(0, 0);
