@@ -23,6 +23,7 @@
 #include "decomposition/elkin_neiman_distributed.hpp"
 #include "decomposition/validation.hpp"
 #include "graph/generators.hpp"
+#include "graph/relabel.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -59,6 +60,21 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
     if (argv[i] == flag) return true;
   }
   return false;
+}
+
+/// Value of `--flag <int>`; fallback when absent or malformed. "0" is a
+/// valid value (EngineOptions::threads = 0 means hardware concurrency).
+inline int int_flag(int argc, char** argv, const std::string& flag,
+                    int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || value < 0) return fallback;
+      return static_cast<int>(value);
+    }
+  }
+  return fallback;
 }
 
 /// Collects flat records and writes them as a JSON array on flush().
@@ -147,8 +163,9 @@ class JsonWriter {
   bool flushed_ = false;
 };
 
-/// One engine-scaling measurement case: which theorem schedule to run
-/// and whether to batch-validate the resulting clustering.
+/// One engine-scaling measurement case: which theorem schedule to run,
+/// how to run it (threads, layout), and whether to batch-validate the
+/// resulting clustering.
 struct EngineCaseOptions {
   int theorem = 1;
   /// k for Theorems 1-2 (0 = ceil(ln n)); lambda for Theorem 3
@@ -157,6 +174,22 @@ struct EngineCaseOptions {
   /// Run validate_decomposition_fast on the output and report its wall
   /// time and verdict (complete + proper coloring + connected clusters).
   bool validate = false;
+  /// Engine worker threads (EngineOptions::threads; 1 = serial).
+  unsigned threads = 1;
+  /// When set, run on this relabeled graph instead of `g` (the
+  /// clustering comes back in original ids and is validated against the
+  /// original `g`); layout_name labels the row.
+  const LayoutGraph* layout = nullptr;
+  std::string layout_name = "none";
+  /// Graph construction wall time to report alongside the run (excluded
+  /// from wall_ms as always); < 0 = not measured, field omitted.
+  double construct_ms = -1.0;
+  /// Carving seed. The theorems are probabilistic (success with
+  /// probability 1 - O(1)/c): a seed that hits Lemma 1's radius-overflow
+  /// event yields truncated broadcasts and a legitimately INVALID
+  /// (disconnected-cluster) run, which the row reports via the
+  /// radius_overflow JSON field.
+  std::uint64_t seed = 42;
 };
 
 /// Shared engine-scaling measurement (bench_congest E8d and
@@ -164,8 +197,8 @@ struct EngineCaseOptions {
 /// CONGEST protocol (seed 42) on `g`, appends one table row and one JSON
 /// record, and returns the wall time in ms. Graph construction is
 /// excluded from the timing. The columns for the table are
-/// {schedule, family, n, m, rounds, messages, words, activations,
-/// wall_ms, validate_ms, valid}.
+/// {schedule, family, n, m, threads, rounds, messages, words,
+/// activations, wall_ms, validate_ms, valid}.
 inline double engine_scaling_case(const std::string& family, const Graph& g,
                                   Table& table, JsonWriter& json,
                                   const EngineCaseOptions& options = {}) {
@@ -176,8 +209,14 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
           ? theorem2_schedule(n, options.param, 6.0)
           : theorem3_schedule(n, options.param == 0 ? 3 : options.param,
                               4.0);
+  EngineOptions engine;
+  engine.threads = options.threads;
   Timer timer;
-  const DistributedRun run = run_schedule_distributed(g, schedule, 42);
+  const DistributedRun run =
+      options.layout
+          ? run_schedule_distributed(*options.layout, schedule, options.seed,
+                                     engine)
+          : run_schedule_distributed(g, schedule, options.seed, engine);
   const double wall_ms = timer.elapsed_millis();
 
   double validate_ms = 0.0;
@@ -199,6 +238,7 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
       .cell(family)
       .cell(static_cast<std::int64_t>(n))
       .cell(g.num_edges())
+      .cell(static_cast<std::uint64_t>(options.threads))
       .cell(static_cast<std::uint64_t>(run.sim.rounds))
       .cell(run.sim.messages)
       .cell(run.sim.words)
@@ -212,11 +252,23 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
                      .field("family", family)
                      .field("n", static_cast<std::int64_t>(n))
                      .field("m", g.num_edges())
+                     .field("threads", static_cast<std::uint64_t>(
+                                           options.threads))
+                     .field("layout", options.layout_name)
                      .field("rounds", static_cast<std::uint64_t>(run.sim.rounds))
                      .field("messages", run.sim.messages)
                      .field("words", run.sim.words)
                      .field("activations", run.sim.vertex_activations)
                      .field("wall_ms", wall_ms);
+  if (options.seed != 42) {
+    record.field("seed", options.seed);
+  }
+  if (options.construct_ms >= 0.0) {
+    record.field("construct_ms", options.construct_ms);
+  }
+  if (run.run.carve.radius_overflow) {
+    record.field("radius_overflow", std::uint64_t{1});
+  }
   if (options.validate) {
     record.field("validate_ms", validate_ms)
         .field("valid", valid_cell)

@@ -133,8 +133,9 @@ void engine_wall_clock(bench::JsonWriter& json) {
       "wall time of the full distributed Theorem 1 run (graph "
       "construction excluded); activations = on_round calls the "
       "active-vertex scheduler actually made (vs n * rounds without it)");
-  Table table({"schedule", "family", "n", "m", "rounds", "messages",
-               "words", "activations", "wall_ms", "validate_ms", "valid"});
+  Table table({"schedule", "family", "n", "m", "threads", "rounds",
+               "messages", "words", "activations", "wall_ms", "validate_ms",
+               "valid"});
   const VertexId n = 100000;
   const bench::EngineCaseOptions t1{1, 0, /*validate=*/true};
   bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),

@@ -1,11 +1,11 @@
 #include "apps/luby.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
-#include "support/atomics.hpp"
+#include "support/per_worker.hpp"
 #include "support/rng.hpp"
 
 namespace dsnd {
@@ -26,9 +26,10 @@ class LubyProtocol final : public Protocol {
     const auto n = static_cast<std::size_t>(g.num_vertices());
     state_.assign(n, NodeState::kUndecided);
     priority_.assign(n, 0);
-    undecided_ = g.num_vertices();
-    iterations_ = 0;
+    accum_.reset(1);
   }
+
+  void begin_workers(unsigned workers) override { accum_.reset(workers); }
 
   void on_round(VertexId v, std::size_t round,
                 std::span<const MessageView> inbox, Outbox& out) override {
@@ -36,9 +37,10 @@ class LubyProtocol final : public Protocol {
     const auto step = static_cast<std::int32_t>(round % 3);
     const auto iteration = static_cast<std::int32_t>(round / 3);
 
+    Accum& accum = accum_[out.worker()];
     if (step == 0) {
       if (state_[vi] != NodeState::kUndecided) return;
-      atomic_max(iterations_, iteration + 1);
+      accum.iterations = std::max(accum.iterations, iteration + 1);
       // Fresh random priority per iteration; ties broken by vertex id in
       // the comparison, so reuse across vertices is harmless.
       Xoshiro256ss rng(stream_seed(
@@ -69,7 +71,7 @@ class LubyProtocol final : public Protocol {
       }
       if (wins) {
         state_[vi] = NodeState::kIn;
-        undecided_.fetch_sub(1, std::memory_order_relaxed);
+        ++accum.decided;
         out.send_to_all_neighbors({kTagIn});
       } else {
         // Still undecided: resample at the next iteration's step 0
@@ -83,19 +85,21 @@ class LubyProtocol final : public Protocol {
     // step == 2: neighbors of fresh IN vertices drop out. Since only
     // undecided vertices broadcast priorities, no explicit OUT
     // notification is needed for the next iteration's comparison.
-    (void)out;
     if (state_[vi] != NodeState::kUndecided) return;
     for (const MessageView& msg : inbox) {
       if (!msg.words.empty() && msg.words[0] == kTagIn) {
         state_[vi] = NodeState::kOut;
-        undecided_.fetch_sub(1, std::memory_order_relaxed);
+        ++accum.decided;
         return;
       }
     }
   }
 
   bool finished() const override {
-    return undecided_.load(std::memory_order_relaxed) == 0;
+    const VertexId decided = accum_.fold(
+        VertexId{0},
+        [](VertexId acc, const Accum& a) { return acc + a.decided; });
+    return decided == graph_->num_vertices();
   }
 
   std::vector<char> in_mis() const {
@@ -107,17 +111,24 @@ class LubyProtocol final : public Protocol {
   }
 
   std::int32_t iterations() const {
-    return iterations_.load(std::memory_order_relaxed);
+    return accum_.fold(0, [](std::int32_t acc, const Accum& a) {
+      return std::max(acc, a.iterations);
+    });
   }
 
  private:
+  /// Per-worker aggregate slice (support/per_worker.hpp): monotone
+  /// fields folded on the driving thread, no cross-core contention.
+  struct Accum {
+    VertexId decided = 0;
+    std::int32_t iterations = 0;
+  };
+
   const std::uint64_t seed_;
   const Graph* graph_ = nullptr;
   std::vector<NodeState> state_;
   std::vector<std::uint64_t> priority_;
-  // Shared monotone aggregates; atomic so parallel rounds are race-free.
-  std::atomic<VertexId> undecided_{0};
-  std::atomic<std::int32_t> iterations_{0};
+  PerWorker<Accum> accum_;
 };
 
 }  // namespace

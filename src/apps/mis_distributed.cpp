@@ -1,13 +1,13 @@
 #include "apps/mis_distributed.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
 #include <optional>
 
 #include "decomposition/supergraph.hpp"
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
+#include "support/per_worker.hpp"
 
 namespace dsnd {
 
@@ -60,7 +60,7 @@ class MisPipelineProtocol final : public Protocol {
     neighbor_in_mis_.assign(n, 0);
     pending_records_.assign(n, {});
     relay_decisions_.assign(n, std::nullopt);
-    undecided_ = g.num_vertices();
+    accum_.reset(1);
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       const ClusterId c = clustering_.cluster_of(v);
       if (clustering_.center_of(c) == v) {
@@ -68,6 +68,8 @@ class MisPipelineProtocol final : public Protocol {
       }
     }
   }
+
+  void begin_workers(unsigned workers) override { accum_.reset(workers); }
 
   /// The pipeline is time-driven: vertices act at fixed steps of their
   /// class window (seed/convergecast/solve/downcast/announce) with
@@ -115,7 +117,7 @@ class MisPipelineProtocol final : public Protocol {
         case kTagDecide:
           for (std::size_t i = 2; i + 1 < msg.words.size(); i += 2) {
             if (static_cast<VertexId>(msg.words[i]) == v) {
-              decide(vi, msg.words[i + 1] != 0);
+              decide(vi, msg.words[i + 1] != 0, out.worker());
             }
           }
           relay_decisions_[vi] = StoredDecision{
@@ -185,7 +187,7 @@ class MisPipelineProtocol final : public Protocol {
         words.push_back(static_cast<std::uint64_t>(vertex));
         words.push_back(in ? 1 : 0);
       }
-      decide(vi, solution.at(v));
+      decide(vi, solution.at(v), out.worker());
       for (const VertexId w : graph_->neighbors(v)) {
         if (clustering_.cluster_of(w) == cluster) {
           out.send(w, words);
@@ -214,15 +216,16 @@ class MisPipelineProtocol final : public Protocol {
     }
   }
 
-  bool finished() const override {
-    return undecided_.load(std::memory_order_relaxed) == 0;
-  }
+  bool finished() const override { return undecided() == 0; }
 
   std::vector<char> in_mis() const { return in_mis_; }
   std::int32_t rounds_per_class() const { return rounds_per_class_; }
   std::int32_t classes() const { return classes_; }
   VertexId undecided() const {
-    return undecided_.load(std::memory_order_relaxed);
+    const VertexId decided = accum_.fold(
+        VertexId{0},
+        [](VertexId acc, const Accum& a) { return acc + a.decided; });
+    return graph_->num_vertices() - decided;
   }
 
  private:
@@ -239,11 +242,11 @@ class MisPipelineProtocol final : public Protocol {
     return record;
   }
 
-  void decide(std::size_t vi, bool in) {
+  void decide(std::size_t vi, bool in, unsigned worker) {
     if (decided_[vi]) return;
     decided_[vi] = 1;
     in_mis_[vi] = in ? 1 : 0;
-    undecided_.fetch_sub(1, std::memory_order_relaxed);
+    ++accum_[worker].decided;
   }
 
   const Clustering& clustering_;
@@ -259,9 +262,13 @@ class MisPipelineProtocol final : public Protocol {
   std::vector<char> neighbor_in_mis_;
   std::vector<std::vector<GatherRecord>> pending_records_;
   std::vector<std::optional<StoredDecision>> relay_decisions_;
-  // Atomic so parallel rounds are race-free (decide() touches only the
-  // deciding vertex's state plus this counter).
-  std::atomic<VertexId> undecided_{0};
+  /// Per-worker decided counter (support/per_worker.hpp): decide()
+  /// touches only the deciding vertex's state plus its worker's slot, so
+  /// parallel rounds stay race-free with no shared atomics.
+  struct Accum {
+    VertexId decided = 0;
+  };
+  PerWorker<Accum> accum_;
 };
 
 }  // namespace

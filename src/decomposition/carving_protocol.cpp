@@ -1,13 +1,13 @@
 #include "decomposition/carving_protocol.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
-#include "support/atomics.hpp"
+#include "support/per_worker.hpp"
 
 namespace dsnd {
 
@@ -25,10 +25,19 @@ bool same_entry(const CarveEntry& a, const CarveEntry& b) {
 
 class CarvingProtocol final : public Protocol {
  public:
-  explicit CarvingProtocol(const CarveParams& params) : params_(params) {}
+  /// `names` maps engine vertex ids to the ORIGINAL ids the algorithm is
+  /// keyed on (radius streams, tie-breaks, the emitted clustering);
+  /// empty = identity. A cache-aware relabeling (graph/relabel.hpp)
+  /// passes its to_old map here, which is what makes relabeled runs
+  /// bit-identical to unrelabeled ones.
+  CarvingProtocol(const CarveParams& params,
+                  std::span<const VertexId> names)
+      : params_(params), names_(names) {}
 
   void begin(const Graph& g) override {
     const auto n = static_cast<std::size_t>(g.num_vertices());
+    DSND_REQUIRE(names_.empty() || names_.size() == n,
+                 "vertex-name map must cover the graph");
     graph_ = &g;
     alive_.assign(n, 1);
     best_.assign(n, CarveEntry{});
@@ -37,11 +46,10 @@ class CarvingProtocol final : public Protocol {
     sent_second_.assign(n, CarveEntry{});
     chosen_center_.assign(n, -1);
     chosen_phase_.assign(n, -1);
-    remaining_ = g.num_vertices();
-    radius_overflow_ = false;
-    max_sampled_radius_ = 0.0;
-    phases_used_ = 0;
+    accum_.reset(1);
   }
+
+  void begin_workers(unsigned workers) override { accum_.reset(workers); }
 
   void on_round(VertexId v, std::size_t round,
                 std::span<const MessageView> inbox, Outbox& out) override {
@@ -51,21 +59,20 @@ class CarvingProtocol final : public Protocol {
         static_cast<std::size_t>(params_.phase_rounds) + 1;
     const auto phase = static_cast<std::int32_t>(round / phase_len);
     const auto step = static_cast<std::int32_t>(round % phase_len);
+    Accum& accum = accum_[out.worker()];
 
     if (step == 0) {
-      // Instrumentation only: the first live vertex to reach a phase
-      // advances the global counter.
-      atomic_max(phases_used_, phase + 1);
+      // Instrumentation only: the worker remembers the deepest phase any
+      // of its vertices reached; the fold takes the max.
+      accum.phases_used = std::max(accum.phases_used, phase + 1);
       const double beta =
           phase < static_cast<std::int32_t>(params_.betas.size())
               ? params_.betas[static_cast<std::size_t>(phase)]
               : params_.betas.back();
-      const double r = carve_radius_sample(params_.seed, phase, v, beta);
-      if (r >= params_.radius_overflow_at) {
-        radius_overflow_.store(true, std::memory_order_relaxed);
-      }
-      atomic_max(max_sampled_radius_, r);
-      best_[vi] = CarveEntry{r, 0, v};
+      const double r = carve_radius_sample(params_.seed, phase, name(v), beta);
+      if (r >= params_.radius_overflow_at) accum.radius_overflow = true;
+      accum.max_sampled_radius = std::max(accum.max_sampled_radius, r);
+      best_[vi] = CarveEntry{r, 0, name(v)};
       second_[vi] = CarveEntry{};
       sent_best_[vi] = CarveEntry{};
       sent_second_[vi] = CarveEntry{};
@@ -96,7 +103,7 @@ class CarvingProtocol final : public Protocol {
       chosen_center_[vi] = best_[vi].center;
       chosen_phase_[vi] = phase;
       alive_[vi] = 0;
-      remaining_.fetch_sub(1, std::memory_order_relaxed);
+      ++accum.carved;
       out.send_to_all_neighbors({kTagLeave});
     } else {
       // Survivors sample again at the next phase's step 0.
@@ -104,65 +111,100 @@ class CarvingProtocol final : public Protocol {
     }
   }
 
-  bool finished() const override {
-    return remaining_.load(std::memory_order_relaxed) == 0;
-  }
+  bool finished() const override { return remaining() == 0; }
 
   CarveResult build_result() const {
     CarveResult result;
     const auto n = static_cast<std::size_t>(graph_->num_vertices());
-    const std::int32_t phases_used =
-        phases_used_.load(std::memory_order_relaxed);
+    const std::int32_t phases_used = accum_.fold(
+        0, [](std::int32_t acc, const Accum& a) {
+          return std::max(acc, a.phases_used);
+        });
     result.clustering = Clustering(graph_->num_vertices());
     result.target_phases = static_cast<std::int32_t>(params_.betas.size());
     result.phases_used = phases_used;
     result.exhausted_within_target =
-        remaining_.load(std::memory_order_relaxed) == 0 &&
-        phases_used <= result.target_phases;
-    result.radius_overflow = radius_overflow_.load(std::memory_order_relaxed);
-    result.max_sampled_radius =
-        max_sampled_radius_.load(std::memory_order_relaxed);
+        remaining() == 0 && phases_used <= result.target_phases;
+    result.radius_overflow = accum_.fold(
+        false, [](bool acc, const Accum& a) {
+          return acc || a.radius_overflow;
+        });
+    result.max_sampled_radius = accum_.fold(
+        0.0, [](double acc, const Accum& a) {
+          return std::max(acc, a.max_sampled_radius);
+        });
     result.rounds = static_cast<std::int64_t>(phases_used) *
                     (static_cast<std::int64_t>(params_.phase_rounds) + 1);
 
     result.carved_per_phase.assign(
         static_cast<std::size_t>(phases_used), 0);
     // Clusters in the same deterministic order as carve_decomposition:
-    // by phase, then by member vertex id at first appearance. One pass
-    // buckets the vertices per phase (vertex order preserved) so the
-    // total cost is O(n + phases) instead of O(n * phases).
-    std::vector<std::vector<VertexId>> members_per_phase(
-        static_cast<std::size_t>(phases_used));
-    for (std::size_t v = 0; v < n; ++v) {
-      if (chosen_phase_[v] >= 0) {
-        members_per_phase[static_cast<std::size_t>(chosen_phase_[v])]
-            .push_back(static_cast<VertexId>(v));
+    // by phase, then by member ORIGINAL id at first appearance. The
+    // members are walked in original-id order (via the inverse name map
+    // when a relabeling is active), so a relabeled run builds the exact
+    // same clustering object. O(n + phases) total.
+    std::vector<VertexId> by_name;
+    if (!names_.empty()) {
+      by_name.resize(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        by_name[static_cast<std::size_t>(names_[v])] =
+            static_cast<VertexId>(v);
       }
     }
+    std::vector<std::vector<VertexId>> members_per_phase(
+        static_cast<std::size_t>(phases_used));
+    for (std::size_t o = 0; o < n; ++o) {
+      const std::size_t v =
+          names_.empty() ? o : static_cast<std::size_t>(by_name[o]);
+      if (chosen_phase_[v] >= 0) {
+        members_per_phase[static_cast<std::size_t>(chosen_phase_[v])]
+            .push_back(static_cast<VertexId>(o));
+      }
+    }
+    // chosen_center_ already holds original ids (entries carry names).
     std::vector<ClusterId> cluster_of_center(n, kNoCluster);
     for (std::int32_t phase = 0; phase < phases_used; ++phase) {
-      for (const VertexId v : members_per_phase[static_cast<std::size_t>(
+      for (const VertexId o : members_per_phase[static_cast<std::size_t>(
                phase)]) {
         ++result.carved_per_phase[static_cast<std::size_t>(phase)];
-        const auto center =
-            static_cast<std::size_t>(chosen_center_[static_cast<std::size_t>(v)]);
+        const std::size_t v =
+            names_.empty() ? static_cast<std::size_t>(o)
+                           : static_cast<std::size_t>(
+                                 by_name[static_cast<std::size_t>(o)]);
+        const auto center = static_cast<std::size_t>(chosen_center_[v]);
         if (cluster_of_center[center] == kNoCluster ||
             result.clustering.color_of(cluster_of_center[center]) !=
                 phase) {
           cluster_of_center[center] = result.clustering.add_cluster(
               static_cast<VertexId>(center), phase);
         }
-        result.clustering.assign(v, cluster_of_center[center]);
+        result.clustering.assign(o, cluster_of_center[center]);
       }
     }
     return result;
   }
 
   VertexId remaining() const {
-    return remaining_.load(std::memory_order_relaxed);
+    const VertexId carved = accum_.fold(
+        VertexId{0},
+        [](VertexId acc, const Accum& a) { return acc + a.carved; });
+    return graph_->num_vertices() - carved;
   }
 
  private:
+  /// Per-worker aggregate slice; all fields monotone under the fold, so
+  /// totals are independent of which worker ran which vertex.
+  struct Accum {
+    VertexId carved = 0;
+    std::int32_t phases_used = 0;
+    double max_sampled_radius = 0.0;
+    bool radius_overflow = false;
+  };
+
+  VertexId name(VertexId v) const {
+    return names_.empty() ? v : names_[static_cast<std::size_t>(v)];
+  }
+
   void merge(std::size_t vi, const CarveEntry& entry) {
     CarveEntry& best = best_[vi];
     CarveEntry& second = second_[vi];
@@ -219,6 +261,7 @@ class CarvingProtocol final : public Protocol {
   }
 
   const CarveParams params_;
+  const std::span<const VertexId> names_;
   const Graph* graph_ = nullptr;
   std::vector<char> alive_;
   std::vector<CarveEntry> best_;
@@ -227,19 +270,15 @@ class CarvingProtocol final : public Protocol {
   std::vector<CarveEntry> sent_second_;
   std::vector<VertexId> chosen_center_;
   std::vector<std::int32_t> chosen_phase_;
-  // Shared aggregates, atomic so parallel rounds stay race-free; all are
-  // monotone, so relaxed ordering cannot change any outcome.
-  std::atomic<VertexId> remaining_{0};
-  std::atomic<bool> radius_overflow_{false};
-  std::atomic<double> max_sampled_radius_{0.0};
-  std::atomic<std::int32_t> phases_used_{0};
+  PerWorker<Accum> accum_;
 };
 
 }  // namespace
 
 DistributedCarveResult carve_decomposition_distributed(
     const Graph& g, const CarveParams& params,
-    const EngineOptions& engine_options) {
+    const EngineOptions& engine_options,
+    std::span<const VertexId> vertex_names) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
   DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
@@ -250,7 +289,7 @@ DistributedCarveResult carve_decomposition_distributed(
   DSND_REQUIRE(params.run_to_completion,
                "the distributed protocol always carves to completion");
 
-  CarvingProtocol protocol(params);
+  CarvingProtocol protocol(params, vertex_names);
   SyncEngine engine(g, engine_options);
   const std::size_t max_rounds =
       (params.betas.size() * 8 + static_cast<std::size_t>(g.num_vertices()) +
@@ -270,6 +309,21 @@ DistributedRun run_schedule_distributed(const Graph& g,
                                         const EngineOptions& engine_options) {
   DistributedCarveResult result = carve_decomposition_distributed(
       g, schedule.params(seed), engine_options);
+  DistributedRun run;
+  run.sim = result.sim;
+  run.run.carve = std::move(result.carve);
+  run.run.bounds = schedule.bounds;
+  run.run.k = schedule.k;
+  run.run.c = schedule.c;
+  return run;
+}
+
+DistributedRun run_schedule_distributed(const LayoutGraph& lg,
+                                        const CarveSchedule& schedule,
+                                        std::uint64_t seed,
+                                        const EngineOptions& engine_options) {
+  DistributedCarveResult result = carve_decomposition_distributed(
+      lg.graph, schedule.params(seed), engine_options, lg.layout.to_old);
   DistributedRun run;
   run.sim = result.sim;
   run.run.carve = std::move(result.carve);

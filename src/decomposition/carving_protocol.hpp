@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "decomposition/carve_schedule.hpp"
 #include "decomposition/carving.hpp"
 #include "graph/graph.hpp"
+#include "graph/relabel.hpp"
 #include "simulator/engine.hpp"
 #include "simulator/metrics.hpp"
 
@@ -44,9 +46,15 @@ struct DistributedRun {
 /// phase length, overflow threshold, and completion semantics match
 /// carve_decomposition exactly. engine_options tunes the simulator
 /// (scheduling, threads); the clustering is identical for every setting.
+/// vertex_names (empty = identity) maps engine vertex ids to the
+/// original ids the algorithm is keyed on — the hook the cache-aware
+/// relabeling uses (see the LayoutGraph overload below): radius streams,
+/// tie-breaks, and the emitted clustering all use names, so a run on a
+/// relabeled graph is bit-identical to the unrelabeled run.
 DistributedCarveResult carve_decomposition_distributed(
     const Graph& g, const CarveParams& params,
-    const EngineOptions& engine_options = {});
+    const EngineOptions& engine_options = {},
+    std::span<const VertexId> vertex_names = {});
 
 /// The CONGEST twin of run_schedule(): executes the schedule through the
 /// generic carving protocol and attaches the schedule's bounds. All three
@@ -55,6 +63,16 @@ DistributedCarveResult carve_decomposition_distributed(
 /// is bit-identical to run_schedule(g, schedule, seed).
 DistributedRun run_schedule_distributed(
     const Graph& g, const CarveSchedule& schedule, std::uint64_t seed,
+    const EngineOptions& engine_options = {});
+
+/// Layout-aware twin: runs on lg.graph (the relabeled topology, built by
+/// make_layout_graph with e.g. bfs_layout or grid_bucket_layout) while
+/// keying all randomness and the returned clustering to ORIGINAL vertex
+/// ids via lg.layout — bit-identical to run_schedule_distributed on the
+/// original graph with the same seed, with the cache behavior of the
+/// relabeled layout.
+DistributedRun run_schedule_distributed(
+    const LayoutGraph& lg, const CarveSchedule& schedule, std::uint64_t seed,
     const EngineOptions& engine_options = {});
 
 /// Largest message the protocol emits, in 64-bit words.

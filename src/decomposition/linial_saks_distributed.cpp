@@ -1,14 +1,13 @@
 #include "decomposition/linial_saks_distributed.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <vector>
 
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
-#include "support/atomics.hpp"
 #include "support/distributions.hpp"
+#include "support/per_worker.hpp"
 #include "support/rng.hpp"
 
 namespace dsnd {
@@ -38,10 +37,10 @@ class LinialSaksProtocol final : public Protocol {
     frontier_.assign(n, {});
     chosen_center_.assign(n, -1);
     chosen_phase_.assign(n, -1);
-    remaining_ = g.num_vertices();
-    phases_used_ = 0;
-    max_radius_ = 0;
+    accum_.reset(1);
   }
+
+  void begin_workers(unsigned workers) override { accum_.reset(workers); }
 
   void on_round(VertexId v, std::size_t round,
                 std::span<const MessageView> inbox, Outbox& out) override {
@@ -51,14 +50,15 @@ class LinialSaksProtocol final : public Protocol {
     const auto phase = static_cast<std::int32_t>(round / phase_len);
     const auto step = static_cast<std::int32_t>(round % phase_len);
 
+    Accum& accum = accum_[out.worker()];
     if (step == 0) {
-      atomic_max(phases_used_, phase + 1);
+      accum.phases_used = std::max(accum.phases_used, phase + 1);
       // Identical stream to linial_saks_decomposition.
       Xoshiro256ss rng(stream_seed(seed_,
                                    static_cast<std::uint64_t>(phase) + 1,
                                    static_cast<std::uint64_t>(v) + 1));
       const std::int32_t r = sample_truncated_geometric(rng, p_, k_ - 1);
-      atomic_max(max_radius_, r);
+      accum.max_radius = std::max(accum.max_radius, r);
       frontier_[vi].clear();
       frontier_[vi].push_back(LsEntry{v, r, 0});
       forward(v, LsEntry{v, r, 0}, out);
@@ -88,7 +88,7 @@ class LinialSaksProtocol final : public Protocol {
       chosen_center_[vi] = winner.id;
       chosen_phase_[vi] = phase;
       alive_[vi] = 0;
-      remaining_.fetch_sub(1, std::memory_order_relaxed);
+      ++accum.carved;
       out.send_to_all_neighbors({kTagLeave});
     } else {
       // Survivors sample again at the next phase's step 0.
@@ -96,19 +96,21 @@ class LinialSaksProtocol final : public Protocol {
     }
   }
 
-  bool finished() const override {
-    return remaining_.load(std::memory_order_relaxed) == 0;
-  }
+  bool finished() const override { return remaining() == 0; }
 
   CarveResult build_result() const {
     CarveResult result;
     const auto n = static_cast<std::size_t>(graph_->num_vertices());
-    const std::int32_t phases_used =
-        phases_used_.load(std::memory_order_relaxed);
+    const std::int32_t phases_used = accum_.fold(
+        0, [](std::int32_t acc, const Accum& a) {
+          return std::max(acc, a.phases_used);
+        });
     result.clustering = Clustering(graph_->num_vertices());
     result.phases_used = phases_used;
-    result.max_sampled_radius =
-        static_cast<double>(max_radius_.load(std::memory_order_relaxed));
+    result.max_sampled_radius = static_cast<double>(accum_.fold(
+        0, [](std::int32_t acc, const Accum& a) {
+          return std::max(acc, a.max_radius);
+        }));
     result.rounds = static_cast<std::int64_t>(phases_used) * (k_ + 1);
     result.carved_per_phase.assign(
         static_cast<std::size_t>(phases_used), 0);
@@ -142,7 +144,10 @@ class LinialSaksProtocol final : public Protocol {
   }
 
   VertexId remaining() const {
-    return remaining_.load(std::memory_order_relaxed);
+    const VertexId carved = accum_.fold(
+        VertexId{0},
+        [](VertexId acc, const Accum& a) { return acc + a.carved; });
+    return graph_->num_vertices() - carved;
   }
   std::size_t max_frontier_size() const {
     std::size_t result = 0;
@@ -189,6 +194,14 @@ class LinialSaksProtocol final : public Protocol {
     }
   }
 
+  /// Per-worker aggregate slice (support/per_worker.hpp): monotone
+  /// fields folded on the driving thread, no cross-core contention.
+  struct Accum {
+    VertexId carved = 0;
+    std::int32_t phases_used = 0;
+    std::int32_t max_radius = 0;
+  };
+
   const std::uint64_t seed_;
   const std::int32_t k_;
   const double p_;
@@ -197,10 +210,7 @@ class LinialSaksProtocol final : public Protocol {
   std::vector<std::vector<LsEntry>> frontier_;
   std::vector<VertexId> chosen_center_;
   std::vector<std::int32_t> chosen_phase_;
-  // Shared monotone aggregates; atomic so parallel rounds are race-free.
-  std::atomic<VertexId> remaining_{0};
-  std::atomic<std::int32_t> phases_used_{0};
-  std::atomic<std::int32_t> max_radius_{0};
+  PerWorker<Accum> accum_;
 };
 
 }  // namespace

@@ -4,11 +4,94 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
 namespace dsnd {
+
+namespace {
+
+// Stream tags for the chunk-parallel generators (distinct from the
+// legacy whole-graph stream tags, so the scheme change is explicit in
+// the derivation, not just in the draw order).
+constexpr std::uint64_t kGnpRowTag = 0x676e7001ULL;   // per-row streams
+constexpr std::uint64_t kRggPointTag = 0x52474702ULL;  // per-point streams
+
+unsigned resolve_threads(unsigned threads, std::size_t items) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const auto cap = static_cast<unsigned>(
+      std::min<std::size_t>(items == 0 ? 1 : items, 256));
+  return std::min(threads, cap);
+}
+
+/// Runs fn(chunk_index, begin, end) over a contiguous partition of
+/// [0, items) — inline when one thread suffices. The partition only
+/// distributes work; each unit draws from its own stream, so results
+/// never depend on the chunking.
+template <typename Fn>
+void parallel_chunks(std::size_t items, unsigned threads, Fn&& fn) {
+  if (threads <= 1 || items < 2) {
+    fn(0u, std::size_t{0}, items);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (items + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min(items, t * chunk);
+    const std::size_t end = std::min(items, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+/// Counting-CSR assembly over per-chunk edge lists (shared by make_gnp
+/// and make_rgg_geometric): degree count, prefix sum, and a cursor
+/// scatter of both directions walking chunks in order. make_gnp's
+/// row-major edge streams leave every row sorted by construction
+/// (lower neighbors in increasing w during the row's own step, upper
+/// neighbors in increasing row afterwards — lower < row < upper), so it
+/// skips the per-row sort; cell-scan-order streams (rgg) request it.
+Graph csr_from_chunk_edges(std::size_t count,
+                           const std::vector<std::vector<Edge>>& chunk_edges,
+                           bool sort_rows, unsigned workers) {
+  std::vector<std::int64_t> offsets(count + 1, 0);
+  for (const auto& edges : chunk_edges) {
+    for (const Edge& e : edges) {
+      ++offsets[static_cast<std::size_t>(e.u) + 1];
+      ++offsets[static_cast<std::size_t>(e.v) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < count; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> adjacency(
+      static_cast<std::size_t>(offsets[count]));
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& edges : chunk_edges) {
+    for (const Edge& e : edges) {
+      adjacency[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+      adjacency[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    }
+  }
+  if (sort_rows) {
+    parallel_chunks(count, workers,
+                    [&](unsigned, std::size_t begin, std::size_t end) {
+                      for (std::size_t v = begin; v < end; ++v) {
+                        std::sort(adjacency.begin() + offsets[v],
+                                  adjacency.begin() + offsets[v + 1]);
+                      }
+                    });
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace
 
 Graph make_path(VertexId n) {
   DSND_REQUIRE(n >= 1, "path needs at least one vertex");
@@ -17,11 +100,31 @@ Graph make_path(VertexId n) {
   return std::move(builder).build();
 }
 
-Graph make_cycle(VertexId n) {
+Graph make_cycle(VertexId n, unsigned threads) {
   DSND_REQUIRE(n >= 3, "cycle needs at least three vertices");
-  GraphBuilder builder(n);
-  for (VertexId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
-  return std::move(builder).build();
+  const auto count = static_cast<std::size_t>(n);
+  std::vector<std::int64_t> offsets(count + 1);
+  for (std::size_t v = 0; v <= count; ++v) {
+    offsets[v] = static_cast<std::int64_t>(2 * v);
+  }
+  std::vector<VertexId> adjacency(2 * count);
+  parallel_chunks(count, resolve_threads(threads, count),
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t v = begin; v < end; ++v) {
+                      // Sorted row: {v-1, v+1} with wraparound endpoints.
+                      const auto vid = static_cast<VertexId>(v);
+                      VertexId lo = vid == 0 ? 1 : vid - 1;
+                      VertexId hi = v + 1 == count ? 0 : vid + 1;
+                      if (vid == 0) {
+                        lo = 1;
+                        hi = static_cast<VertexId>(count - 1);
+                      }
+                      if (lo > hi) std::swap(lo, hi);
+                      adjacency[2 * v] = lo;
+                      adjacency[2 * v + 1] = hi;
+                    }
+                  });
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
 }
 
 Graph make_grid2d(VertexId rows, VertexId cols) {
@@ -180,30 +283,58 @@ Graph make_lollipop(VertexId clique_size, VertexId path_len) {
   return std::move(builder).build();
 }
 
-Graph make_gnp(VertexId n, double p, std::uint64_t seed) {
+Graph make_gnp(VertexId n, double p, std::uint64_t seed, unsigned threads) {
   DSND_REQUIRE(n >= 1, "G(n,p) needs at least one vertex");
   DSND_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
-  Xoshiro256ss rng(stream_seed(seed, 0x676e70ULL, static_cast<std::uint64_t>(n)));
-  GraphBuilder builder(n);
-  if (p == 0.0) return std::move(builder).build();
-  if (p == 1.0) return make_complete(n);
-  // Skip-sampling (Batagelj–Brandes): geometric jumps over non-edges makes
-  // sparse generation O(n + m) instead of O(n^2).
-  const double log_q = std::log1p(-p);
-  std::int64_t v = 1;
-  std::int64_t w = -1;
-  while (v < n) {
-    const double u = uniform_unit(rng);
-    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-u) / log_q));
-    while (w >= v && v < n) {
-      w -= v;
-      ++v;
-    }
-    if (v < n) {
-      builder.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
-    }
+  const auto count = static_cast<std::size_t>(n);
+  if (p == 0.0) {
+    return Graph::from_csr(std::vector<std::int64_t>(count + 1, 0), {});
   }
-  return std::move(builder).build();
+  if (p == 1.0) return make_complete(n);
+
+  // Row streams: row v skip-samples its lower neighbors {w < v} from
+  // stream_seed(seed, kGnpRowTag, v) with Batagelj–Brandes geometric
+  // jumps — O(1 + deg) draws per row, and rows are mutually independent,
+  // which is exactly G(n,p). Rows are processed in contiguous chunks;
+  // later rows have more candidates, so chunk boundaries follow
+  // n*sqrt(t/T) to balance the quadratic work mass.
+  const double log_q = std::log1p(-p);
+  const unsigned workers = resolve_threads(threads, count);
+  std::vector<std::vector<Edge>> chunk_edges(workers);
+  std::vector<std::size_t> bounds(workers + 1);
+  for (unsigned t = 0; t <= workers; ++t) {
+    bounds[t] = std::min(count, static_cast<std::size_t>(
+        static_cast<double>(count) *
+        std::sqrt(static_cast<double>(t) / workers)));
+  }
+  bounds[workers] = count;
+  parallel_chunks(workers, workers,
+                  [&](unsigned, std::size_t cb, std::size_t ce) {
+    for (std::size_t t = cb; t < ce; ++t) {
+      std::vector<Edge>& edges = chunk_edges[t];
+      for (std::size_t v = std::max<std::size_t>(bounds[t], 1);
+           v < bounds[t + 1]; ++v) {
+        Xoshiro256ss rng(stream_seed(seed, kGnpRowTag,
+                                     static_cast<std::uint64_t>(v)));
+        std::int64_t w = -1;
+        for (;;) {
+          const double u = uniform_unit(rng);
+          // The jump is computed in double and compared before the
+          // integer cast: for tiny p a single jump can exceed any
+          // integer range, which simply means "row exhausted".
+          const double next = static_cast<double>(w) + 1.0 +
+                              std::floor(std::log1p(-u) / log_q);
+          if (!(next < static_cast<double>(v))) break;
+          w = static_cast<std::int64_t>(next);
+          edges.push_back(Edge{static_cast<VertexId>(w),
+                               static_cast<VertexId>(v)});
+        }
+      }
+    }
+  });
+
+  return csr_from_chunk_edges(count, chunk_edges, /*sort_rows=*/false,
+                              workers);
 }
 
 Graph make_gnm(VertexId n, std::int64_t m, std::uint64_t seed) {
@@ -351,18 +482,30 @@ Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed) {
   return std::move(builder).build();
 }
 
-Graph make_rgg(VertexId n, double radius, std::uint64_t seed) {
+GeometricGraph make_rgg_geometric(VertexId n, double radius,
+                                  std::uint64_t seed, unsigned threads) {
   DSND_REQUIRE(n >= 1, "rgg needs at least one vertex");
   DSND_REQUIRE(radius > 0.0 && radius <= 1.0, "rgg radius must be in (0, 1]");
   const auto count = static_cast<std::size_t>(n);
-  Xoshiro256ss rng(stream_seed(seed, 0x52474701ULL,
-                               static_cast<std::uint64_t>(n)));
-  std::vector<double> x(count);
-  std::vector<double> y(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    x[i] = uniform_unit(rng);
-    y[i] = uniform_unit(rng);
-  }
+  const unsigned workers = resolve_threads(threads, count);
+
+  // Point i's coordinates from its own stream (x drawn before y):
+  // chunk-parallel and chunk-count invariant.
+  GeometricGraph result;
+  result.x.resize(count);
+  result.y.resize(count);
+  std::vector<double>& x = result.x;
+  std::vector<double>& y = result.y;
+  parallel_chunks(count, workers,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      Xoshiro256ss rng(stream_seed(
+                          seed, kRggPointTag,
+                          static_cast<std::uint64_t>(i)));
+                      x[i] = uniform_unit(rng);
+                      y[i] = uniform_unit(rng);
+                    }
+                  });
 
   // Bucket the points into a grid of cells with side >= radius; every
   // partner of a point then lies in its 3x3 cell block.
@@ -394,33 +537,50 @@ Graph make_rgg(VertexId n, double radius, std::uint64_t seed) {
     }
   }
 
+  // Edge enumeration in point chunks: chunk c finds the partners j > i of
+  // its own points i, so every pair is found exactly once and the union
+  // over chunks never depends on the chunking.
   const double r2 = radius * radius;
-  GraphBuilder builder(n);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::int32_t cx = cell_coord(x[i]);
-    const std::int32_t cy = cell_coord(y[i]);
-    for (std::int32_t gy = std::max(cy - 1, 0);
-         gy <= std::min(cy + 1, side - 1); ++gy) {
-      for (std::int32_t gx = std::max(cx - 1, 0);
-           gx <= std::min(cx + 1, side - 1); ++gx) {
-        const auto cell = static_cast<std::size_t>(gy) *
-                              static_cast<std::size_t>(side) +
-                          static_cast<std::size_t>(gx);
-        for (std::size_t slot = cell_start[cell];
-             slot < cell_start[cell + 1]; ++slot) {
-          const auto j = static_cast<std::size_t>(members[slot]);
-          if (j <= i) continue;  // each pair once
-          const double dx = x[i] - x[j];
-          const double dy = y[i] - y[j];
-          if (dx * dx + dy * dy <= r2) {
-            builder.add_edge(static_cast<VertexId>(i),
-                             static_cast<VertexId>(j));
+  std::vector<std::vector<Edge>> chunk_edges(workers);
+  parallel_chunks(count, workers,
+                  [&](unsigned worker, std::size_t begin, std::size_t end) {
+    std::vector<Edge>& edges = chunk_edges[worker];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int32_t cx = cell_coord(x[i]);
+      const std::int32_t cy = cell_coord(y[i]);
+      for (std::int32_t gy = std::max(cy - 1, 0);
+           gy <= std::min(cy + 1, side - 1); ++gy) {
+        for (std::int32_t gx = std::max(cx - 1, 0);
+             gx <= std::min(cx + 1, side - 1); ++gx) {
+          const auto cell = static_cast<std::size_t>(gy) *
+                                static_cast<std::size_t>(side) +
+                            static_cast<std::size_t>(gx);
+          for (std::size_t slot = cell_start[cell];
+               slot < cell_start[cell + 1]; ++slot) {
+            const auto j = static_cast<std::size_t>(members[slot]);
+            if (j <= i) continue;  // each pair once
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            if (dx * dx + dy * dy <= r2) {
+              edges.push_back(Edge{static_cast<VertexId>(i),
+                                   static_cast<VertexId>(j)});
+            }
           }
         }
       }
     }
-  }
-  return std::move(builder).build();
+  });
+
+  // Rows receive cell-scan-order entries, so the assembly sorts each
+  // (tiny, avg degree ~ n*pi*r^2) row.
+  result.graph =
+      csr_from_chunk_edges(count, chunk_edges, /*sort_rows=*/true, workers);
+  return result;
+}
+
+Graph make_rgg(VertexId n, double radius, std::uint64_t seed,
+               unsigned threads) {
+  return make_rgg_geometric(n, radius, seed, threads).graph;
 }
 
 namespace {

@@ -15,11 +15,20 @@ namespace dsnd {
 
 // --- Deterministic families ---------------------------------------------
 
+// Chunk-parallel generators (make_cycle, make_gnp, make_rgg) take a
+// `threads` argument (default 1; 0 = hardware concurrency) and build the
+// CSR directly via Graph::from_csr — no edge-list sort. Randomness is
+// stream-split KaGen-style: every unit of work (a G(n,p) row, an RGG
+// point) draws from its own stream_seed-derived generator, so the output
+// is a function of (parameters, seed) alone — bit-identical for every
+// thread/chunk count (asserted by tests/test_generators.cpp).
+
 /// Path on n vertices: 0-1-2-...-(n-1).
 Graph make_path(VertexId n);
 
-/// Cycle on n >= 3 vertices.
-Graph make_cycle(VertexId n);
+/// Cycle on n >= 3 vertices. Chunk-parallel analytic CSR construction:
+/// no edge list is ever materialized, so 10M-vertex rings are cheap.
+Graph make_cycle(VertexId n, unsigned threads = 1);
 
 /// rows x cols grid; vertex (r, c) has index r*cols + c.
 Graph make_grid2d(VertexId rows, VertexId cols);
@@ -59,7 +68,14 @@ Graph make_lollipop(VertexId clique_size, VertexId path_len);
 // --- Random families ------------------------------------------------------
 
 /// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
-Graph make_gnp(VertexId n, double p, std::uint64_t seed);
+/// Stream splitting: row v's lower neighbors {w < v} are skip-sampled
+/// (Batagelj–Brandes geometric jumps) from the row's own stream
+/// stream_seed(seed, tag, v), so rows can be generated in parallel chunks
+/// and the graph never depends on the chunking. The CSR is assembled with
+/// a counting scatter whose row-major order leaves every row sorted —
+/// total work O(n + m), no comparison sort.
+Graph make_gnp(VertexId n, double p, std::uint64_t seed,
+               unsigned threads = 1);
 
 /// Erdős–Rényi G(n, m): m distinct edges chosen uniformly.
 Graph make_gnm(VertexId n, std::int64_t m, std::uint64_t seed);
@@ -81,12 +97,29 @@ Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
 /// edges. Requires m >= 1 and n > m.
 Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed);
 
+/// A graph whose vertices carry unit-square coordinates — what the
+/// geometric generators return so callers can derive locality layouts
+/// (see grid_bucket_layout in graph/relabel.hpp).
+struct GeometricGraph {
+  Graph graph;
+  std::vector<double> x;  // per-vertex coordinates in [0, 1)
+  std::vector<double> y;
+};
+
 /// Random geometric graph: n points uniform in the unit square, an edge
 /// whenever two points lie within euclidean distance radius (0, 1].
 /// Grid-bucketed construction (cells of side >= radius, candidates from
 /// the 3x3 block): expected O(n + m) work, so million-vertex instances
 /// are cheap. Expected average degree ~ n * pi * radius^2.
-Graph make_rgg(VertexId n, double radius, std::uint64_t seed);
+/// Stream splitting: point i's coordinates come from its own stream
+/// stream_seed(seed, tag, i), and edges are enumerated in chunks of
+/// points, so generation parallelizes without changing the output.
+GeometricGraph make_rgg_geometric(VertexId n, double radius,
+                                  std::uint64_t seed, unsigned threads = 1);
+
+/// make_rgg_geometric without the coordinates.
+Graph make_rgg(VertexId n, double radius, std::uint64_t seed,
+               unsigned threads = 1);
 
 // --- Named registry --------------------------------------------------------
 

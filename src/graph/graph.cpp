@@ -54,6 +54,30 @@ Graph Graph::from_edges(VertexId n, std::vector<Edge> edges, bool normalize) {
   return g;
 }
 
+Graph Graph::from_csr(std::vector<std::int64_t> offsets,
+                      std::vector<VertexId> adjacency) {
+  DSND_REQUIRE(!offsets.empty(), "offsets must have n+1 entries");
+  DSND_REQUIRE(offsets.front() == 0, "offsets must start at 0");
+  DSND_REQUIRE(offsets.back() == static_cast<std::int64_t>(adjacency.size()),
+               "offsets must end at the adjacency size");
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    DSND_REQUIRE(offsets[v] <= offsets[v + 1], "offsets must be monotone");
+    VertexId prev = -1;
+    for (std::int64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = adjacency[static_cast<std::size_t>(i)];
+      DSND_REQUIRE(w >= 0 && w < n, "adjacency entry out of range");
+      DSND_REQUIRE(w != static_cast<VertexId>(v), "self-loop in CSR row");
+      DSND_REQUIRE(w > prev, "CSR rows must be strictly increasing");
+      prev = w;
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::has_edge(VertexId u, VertexId v) const {
   check_vertex(u);
   check_vertex(v);

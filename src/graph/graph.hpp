@@ -35,6 +35,16 @@ class Graph {
   static Graph from_edges(VertexId n, std::vector<Edge> edges,
                           bool normalize = false);
 
+  /// Adopts a prebuilt CSR verbatim — the O(n + m) path the chunk-parallel
+  /// generators use to skip the edge-list sort entirely. offsets must have
+  /// n+1 monotone entries ending at adjacency.size(); every row must be
+  /// strictly increasing (sorted, no duplicates) with in-range entries and
+  /// no self-loops — all of which is checked. The caller guarantees
+  /// symmetry (v in row u iff u in row v); that invariant is not re-checked
+  /// here because the generators produce both directions from one edge set.
+  static Graph from_csr(std::vector<std::int64_t> offsets,
+                        std::vector<VertexId> adjacency);
+
   VertexId num_vertices() const {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
   }

@@ -1,0 +1,128 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace dsnd {
+
+Permutation Permutation::identity(VertexId n) {
+  DSND_REQUIRE(n >= 0, "vertex count must be nonnegative");
+  Permutation p;
+  p.to_new.resize(static_cast<std::size_t>(n));
+  std::iota(p.to_new.begin(), p.to_new.end(), 0);
+  p.to_old = p.to_new;
+  return p;
+}
+
+Permutation Permutation::from_to_new(std::vector<VertexId> to_new) {
+  const auto n = static_cast<VertexId>(to_new.size());
+  Permutation p;
+  p.to_old.assign(to_new.size(), -1);
+  for (std::size_t old_id = 0; old_id < to_new.size(); ++old_id) {
+    const VertexId new_id = to_new[old_id];
+    DSND_REQUIRE(new_id >= 0 && new_id < n,
+                 "permutation entry out of range");
+    DSND_REQUIRE(p.to_old[static_cast<std::size_t>(new_id)] == -1,
+                 "permutation entry repeated");
+    p.to_old[static_cast<std::size_t>(new_id)] =
+        static_cast<VertexId>(old_id);
+  }
+  p.to_new = std::move(to_new);
+  return p;
+}
+
+Permutation bfs_layout(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Permutation p;
+  p.to_new.assign(n, -1);
+  p.to_old.reserve(n);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (p.to_new[static_cast<std::size_t>(root)] != -1) continue;
+    p.to_new[static_cast<std::size_t>(root)] =
+        static_cast<VertexId>(p.to_old.size());
+    p.to_old.push_back(root);
+    queue.clear();
+    queue.push_back(root);
+    // The visit list doubles as the queue: p.to_old grows as vertices
+    // are discovered, and `queue` mirrors the current component's tail.
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (const VertexId w : g.neighbors(v)) {
+        if (p.to_new[static_cast<std::size_t>(w)] != -1) continue;
+        p.to_new[static_cast<std::size_t>(w)] =
+            static_cast<VertexId>(p.to_old.size());
+        p.to_old.push_back(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  return p;
+}
+
+Permutation grid_bucket_layout(std::span<const double> x,
+                               std::span<const double> y,
+                               std::int32_t cells_per_side) {
+  DSND_REQUIRE(x.size() == y.size(), "coordinate arrays must match");
+  DSND_REQUIRE(cells_per_side >= 1, "need at least one cell per side");
+  const std::size_t n = x.size();
+  const auto side = static_cast<std::size_t>(cells_per_side);
+  auto cell_coord = [cells_per_side](double value) {
+    const auto c = static_cast<std::int32_t>(
+        value * static_cast<double>(cells_per_side));
+    return static_cast<std::size_t>(
+        std::clamp<std::int32_t>(c, 0, cells_per_side - 1));
+  };
+  // Counting sort by row-major cell; point order within a cell.
+  std::vector<std::size_t> cell_start(side * side + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++cell_start[cell_coord(y[i]) * side + cell_coord(x[i]) + 1];
+  }
+  for (std::size_t c = 0; c + 1 < cell_start.size(); ++c) {
+    cell_start[c + 1] += cell_start[c];
+  }
+  Permutation p;
+  p.to_new.resize(n);
+  p.to_old.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot =
+        cell_start[cell_coord(y[i]) * side + cell_coord(x[i])]++;
+    p.to_new[i] = static_cast<VertexId>(slot);
+    p.to_old[slot] = static_cast<VertexId>(i);
+  }
+  return p;
+}
+
+Graph apply_layout(const Graph& g, const Permutation& layout) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  DSND_REQUIRE(layout.to_new.size() == n && layout.to_old.size() == n,
+               "layout size must match the graph");
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v + 1] =
+        offsets[v] +
+        g.degree(layout.to_old[v]);
+  }
+  std::vector<VertexId> adjacency(static_cast<std::size_t>(offsets[n]));
+  for (std::size_t v = 0; v < n; ++v) {
+    auto out = adjacency.begin() + offsets[v];
+    for (const VertexId w : g.neighbors(layout.to_old[v])) {
+      *out++ = layout.to_new[static_cast<std::size_t>(w)];
+    }
+    std::sort(adjacency.begin() + offsets[v],
+              adjacency.begin() + offsets[v + 1]);
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+LayoutGraph make_layout_graph(const Graph& g, Permutation layout) {
+  LayoutGraph result;
+  result.graph = apply_layout(g, layout);
+  result.layout = std::move(layout);
+  return result;
+}
+
+}  // namespace dsnd

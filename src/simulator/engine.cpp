@@ -37,28 +37,40 @@ bool Outbox::is_neighbor(VertexId to) {
 
 void Outbox::send(VertexId to, std::span<const std::uint64_t> words) {
   DSND_REQUIRE(is_neighbor(to), "protocol tried to send to a non-neighbor");
-  const std::size_t begin = staging_.words.size();
-  staging_.words.insert(staging_.words.end(), words.begin(), words.end());
-  staging_.headers.push_back(detail::MsgHeader{
+  detail::ShardBucket& bucket = staging_.buckets[engine_.shard_of(to)];
+  const std::size_t begin = bucket.words.size();
+  bucket.words.insert(bucket.words.end(), words.begin(), words.end());
+  bucket.headers.push_back(detail::MsgHeader{
       sender_, to, static_cast<std::uint32_t>(words.size()), begin});
 }
 
 void Outbox::send_to_all_neighbors(std::span<const std::uint64_t> words) {
   ensure_neighbors();
   if (neighbors_.empty()) return;
-  // One arena copy of the payload, shared by every per-neighbor header.
-  const std::size_t begin = staging_.words.size();
-  staging_.words.insert(staging_.words.end(), words.begin(), words.end());
+  // The neighbor row is sorted, so destinations group into runs per
+  // shard: one arena copy of the payload per destination shard, shared
+  // by every header addressed to it.
   const auto length = static_cast<std::uint32_t>(words.size());
+  unsigned shard = ~0u;
+  detail::ShardBucket* bucket = nullptr;
+  std::size_t begin = 0;
   for (const VertexId to : neighbors_) {
-    staging_.headers.push_back(
-        detail::MsgHeader{sender_, to, length, begin});
+    if (const unsigned s = engine_.shard_of(to); s != shard) {
+      shard = s;
+      bucket = &staging_.buckets[s];
+      begin = bucket->words.size();
+      bucket->words.insert(bucket->words.end(), words.begin(), words.end());
+    }
+    bucket->headers.push_back(detail::MsgHeader{sender_, to, length, begin});
   }
 }
 
 void Outbox::wake_self_in(std::size_t rounds) {
   DSND_REQUIRE(rounds >= 1, "wake_self_in needs a delay of at least 1 round");
-  staging_.wakes.emplace_back(
+  // Wakes ride in the bucket addressed to the sender's own shard, so the
+  // owner finds them during its collect stage no matter which worker
+  // executed the vertex.
+  staging_.buckets[engine_.shard_of(sender_)].wakes.emplace_back(
       static_cast<std::uint64_t>(engine_.current_round_ + rounds), sender_);
 }
 
@@ -69,123 +81,152 @@ void Outbox::wake_self_in(std::size_t rounds) {
 SyncEngine::SyncEngine(const Graph& g, EngineOptions options)
     : graph_(g), options_(options) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
+  workers_ = options_.threads == 0
+                 ? std::max(1u, std::thread::hardware_concurrency())
+                 : std::max(1u, options_.threads);
+  if (n > 0 && static_cast<std::size_t>(workers_) > n) {
+    workers_ = static_cast<unsigned>(n);
+  }
+  shard_width_ = n == 0 ? 1
+                        : static_cast<VertexId>(
+                              (n + workers_ - 1) / workers_);
+
   inbox_begin_.resize(n);
   inbox_fill_.resize(n);
   inbox_len_.assign(n, 0);
   inbox_count_.assign(n, 0);
   active_stamp_.assign(n, 0);
-  all_vertices_.resize(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    all_vertices_[v] = static_cast<VertexId>(v);
+
+  shards_.resize(workers_);
+  for (unsigned s = 0; s < workers_; ++s) {
+    shards_[s].begin = std::min(graph_.num_vertices(),
+                                static_cast<VertexId>(s) * shard_width_);
+    shards_[s].end =
+        std::min(graph_.num_vertices(),
+                 static_cast<VertexId>(shards_[s].begin + shard_width_));
+    shards_[s].wake_ring.resize(64);
   }
-  wake_ring_.resize(64);
+  for (auto& parity : staging_) {
+    parity.resize(workers_);
+    for (detail::SendStaging& staging : parity) {
+      staging.buckets.resize(workers_);
+    }
+  }
+  worker_errors_.resize(workers_);
 }
 
 void SyncEngine::reset(Protocol& protocol) {
-  workers_ = options_.threads == 0
-                 ? std::max(1u, std::thread::hardware_concurrency())
-                 : std::max(1u, options_.threads);
   scheduled_ =
       options_.active_scheduling && !protocol.needs_spontaneous_rounds();
   current_round_ = 0;
   metrics_ = SimMetrics{};
   round_messages_.clear();
 
-  staging_.resize(workers_);
-  for (auto& staging : staging_) staging.clear_round();
-  staging_word_counts_.clear();
-
-  for (const VertexId to : touched_) {
-    inbox_len_[static_cast<std::size_t>(to)] = 0;
+  for (auto& parity : staging_) {
+    for (detail::SendStaging& staging : parity) staging.clear_round();
   }
-  touched_.clear();
-  inbox_views_.clear();
-  words_live_.clear();
+  for (detail::Shard& shard : shards_) {
+    for (const VertexId to : shard.touched) {
+      inbox_len_[static_cast<std::size_t>(to)] = 0;
+    }
+    shard.touched.clear();
+    shard.inbox_views.clear();
+    shard.active.clear();
+    for (auto& bucket : shard.wake_ring) bucket.clear();
+    shard.pending_wakes = 0;
+    shard.round_messages = 0;
+    shard.round_words = 0;
+    shard.round_max_words = 0;
+  }
   std::fill(active_stamp_.begin(), active_stamp_.end(), 0);
-  active_.clear();
-  for (auto& bucket : wake_ring_) bucket.clear();
-  pending_wakes_ = 0;
+  std::fill(worker_errors_.begin(), worker_errors_.end(), nullptr);
 }
 
 void SyncEngine::run_vertex(Protocol& protocol, VertexId v,
-                            detail::SendStaging& staging) {
+                            detail::SendStaging& staging, unsigned worker) {
   const auto vi = static_cast<std::size_t>(v);
   const std::uint32_t length = inbox_len_[vi];
   const std::span<const MessageView> inbox =
-      length == 0 ? std::span<const MessageView>{}
-                  : std::span<const MessageView>(
-                        inbox_views_.data() + inbox_begin_[vi], length);
-  Outbox out(*this, staging, v);
+      length == 0
+          ? std::span<const MessageView>{}
+          : std::span<const MessageView>(
+                shards_[shard_of(v)].inbox_views.data() + inbox_begin_[vi],
+                length);
+  Outbox out(*this, staging, v, worker);
   protocol.on_round(v, current_round_, inbox, out);
 }
 
-void SyncEngine::ring_insert(const std::uint64_t target, const VertexId v) {
+void SyncEngine::execute_shard(Protocol& protocol, unsigned s,
+                               unsigned parity, bool use_active) {
+  detail::SendStaging& staging = staging_[parity][s];
+  staging.clear_round();
+  const detail::Shard& shard = shards_[s];
+  if (use_active) {
+    for (const VertexId v : shard.active) {
+      run_vertex(protocol, v, staging, s);
+    }
+  } else {
+    for (VertexId v = shard.begin; v < shard.end; ++v) {
+      run_vertex(protocol, v, staging, s);
+    }
+  }
+}
+
+void SyncEngine::ring_insert(detail::Shard& shard, const std::uint64_t target,
+                             const VertexId v) {
   const std::uint64_t delta = target - current_round_;
-  if (delta >= wake_ring_.size()) {
+  if (delta >= shard.wake_ring.size()) {
     // Grow the calendar to a power of two covering the delta and rehome
     // the pending entries under the new mask.
-    std::size_t size = wake_ring_.size();
+    std::size_t size = shard.wake_ring.size();
     while (size <= delta) size *= 2;
     std::vector<std::vector<std::pair<std::uint64_t, VertexId>>> grown(size);
-    for (const auto& bucket : wake_ring_) {
+    for (const auto& bucket : shard.wake_ring) {
       for (const auto& entry : bucket) {
         grown[entry.first & (size - 1)].push_back(entry);
       }
     }
-    wake_ring_ = std::move(grown);
+    shard.wake_ring = std::move(grown);
   }
-  wake_ring_[target & (wake_ring_.size() - 1)].emplace_back(target, v);
-  ++pending_wakes_;
+  shard.wake_ring[target & (shard.wake_ring.size() - 1)].emplace_back(target,
+                                                                      v);
+  ++shard.pending_wakes;
 }
 
-void SyncEngine::collect_round() {
+void SyncEngine::collect_shard(unsigned s, unsigned parity) {
+  detail::Shard& shard = shards_[s];
+
   // The inbox index consumed this round is dead; zero its slots so the
   // no-message default holds for next round.
-  for (const VertexId to : touched_) {
+  for (const VertexId to : shard.touched) {
     inbox_len_[static_cast<std::size_t>(to)] = 0;
   }
-  touched_.clear();
+  shard.touched.clear();
 
-  // Staged payload words become the live arena backing next round's
-  // views. Serial mode swaps buffers (zero copies; last round's arena
-  // memory is recycled as staging capacity); parallel mode concatenates
-  // the worker arenas in worker order.
-  staging_word_counts_.clear();
-  for (const auto& staging : staging_) {
-    staging_word_counts_.push_back(staging.words.size());
-  }
-  if (workers_ == 1) {
-    std::swap(words_live_, staging_[0].words);
-  } else {
-    words_merge_.clear();
-    for (const auto& staging : staging_) {
-      words_merge_.insert(words_merge_.end(), staging.words.begin(),
-                          staging.words.end());
-    }
-    std::swap(words_live_, words_merge_);
-  }
-
-  // Pass 1: per-receiver counts and message metrics.
-  std::size_t total_messages = 0;
-  for (const auto& staging : staging_) {
-    total_messages += staging.headers.size();
-    for (const detail::MsgHeader& h : staging.headers) {
-      metrics_.words += h.length;
-      if (h.length > metrics_.max_message_words) {
-        metrics_.max_message_words = h.length;
-      }
+  // Pass 1 over the buckets addressed to this shard: per-receiver counts
+  // and this shard's slice of the message metrics.
+  std::uint64_t messages = 0;
+  std::uint64_t word_total = 0;
+  std::size_t max_words = 0;
+  for (unsigned w = 0; w < workers_; ++w) {
+    const detail::ShardBucket& bucket = staging_[parity][w].buckets[s];
+    messages += bucket.headers.size();
+    for (const detail::MsgHeader& h : bucket.headers) {
+      word_total += h.length;
+      if (h.length > max_words) max_words = h.length;
       std::uint32_t& count = inbox_count_[static_cast<std::size_t>(h.to)];
-      if (count == 0) touched_.push_back(h.to);
+      if (count == 0) shard.touched.push_back(h.to);
       ++count;
     }
   }
-  metrics_.messages += total_messages;
-  round_messages_.push_back(total_messages);
+  shard.round_messages = messages;
+  shard.round_words = word_total;
+  shard.round_max_words = max_words;
 
   // Pass 2: CSR offsets for the touched receivers only — a quiet round
   // costs O(active + messages), never O(n).
   std::size_t running = 0;
-  for (const VertexId to : touched_) {
+  for (const VertexId to : shard.touched) {
     const auto ti = static_cast<std::size_t>(to);
     inbox_begin_[ti] = running;
     inbox_fill_[ti] = running;
@@ -195,93 +236,113 @@ void SyncEngine::collect_round() {
   }
 
   // Pass 3: stable counting-sort scatter by receiver. Iterating the
-  // staging buffers in worker order reproduces the vertex-order send
-  // sequence, so inbox order is identical for any thread count.
-  inbox_views_.resize(total_messages);
-  std::size_t word_base = 0;
-  for (std::size_t s = 0; s < staging_.size(); ++s) {
-    for (const detail::MsgHeader& h : staging_[s].headers) {
-      inbox_views_[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
-          MessageView{h.from,
-                      {words_live_.data() + word_base + h.word_begin,
-                       h.length}};
+  // source buckets in worker order reproduces the vertex-order send
+  // sequence (shards are ascending contiguous ranges), so inbox order is
+  // identical for any shard count. Views alias the source bucket arenas
+  // directly — payload words are never copied again.
+  shard.inbox_views.resize(messages);
+  for (unsigned w = 0; w < workers_; ++w) {
+    const detail::ShardBucket& bucket = staging_[parity][w].buckets[s];
+    const std::uint64_t* base = bucket.words.data();
+    for (const detail::MsgHeader& h : bucket.headers) {
+      shard.inbox_views[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
+          MessageView{h.from, {base + h.word_begin, h.length}};
     }
-    word_base += staging_word_counts_[s];
   }
 
-  // Wake requests into the calendar, then fire the next round's bucket
-  // and build the next active list: receivers with mail plus due wakes,
-  // deduplicated, in vertex-id order (so the execution order — and hence
-  // every inbox order — matches the run-every-vertex mode). In
-  // run-every-vertex mode (scheduled_ false) none of this is ever read,
-  // so staged wakes are simply dropped with the rest of the staging.
+  // Wake requests into the shard's calendar, then fire the next round's
+  // bucket and build the next active list: owned receivers with mail
+  // plus due wakes, deduplicated, in vertex-id order (so execution — and
+  // hence every inbox order — matches the run-every-vertex mode). In
+  // run-every-vertex mode none of this is ever read, so staged wakes are
+  // simply dropped with the rest of the staging.
   if (scheduled_) {
-    for (const auto& staging : staging_) {
-      for (const auto& [target, v] : staging.wakes) ring_insert(target, v);
+    for (unsigned w = 0; w < workers_; ++w) {
+      for (const auto& [target, v] : staging_[parity][w].buckets[s].wakes) {
+        ring_insert(shard, target, v);
+      }
     }
     const std::uint64_t next = static_cast<std::uint64_t>(current_round_) + 1;
     const std::uint64_t stamp = next + 1;
-    active_.clear();
-    for (const VertexId to : touched_) {
-      active_.push_back(to);
+    shard.active.clear();
+    for (const VertexId to : shard.touched) {
+      shard.active.push_back(to);
       active_stamp_[static_cast<std::size_t>(to)] = stamp;
     }
-    auto& due = wake_ring_[next & (wake_ring_.size() - 1)];
+    auto& due = shard.wake_ring[next & (shard.wake_ring.size() - 1)];
     for (const auto& [target, v] : due) {
       if (active_stamp_[static_cast<std::size_t>(v)] != stamp) {
         active_stamp_[static_cast<std::size_t>(v)] = stamp;
-        active_.push_back(v);
+        shard.active.push_back(v);
       }
     }
-    pending_wakes_ -= due.size();
+    shard.pending_wakes -= due.size();
     due.clear();
     // Vertex-id order keeps execution (and inbox) order identical to the
     // run-every-vertex mode. Dense lists are rebuilt by scanning the
-    // stamp array — O(n), cheaper than sorting a large fraction of n;
-    // sparse lists are sorted directly.
-    if (active_.size() >= active_stamp_.size() / 16) {
-      active_.clear();
-      for (std::size_t v = 0; v < active_stamp_.size(); ++v) {
-        if (active_stamp_[v] == stamp) {
-          active_.push_back(static_cast<VertexId>(v));
+    // owned slice of the stamp array — O(shard), cheaper than sorting a
+    // large fraction of it; sparse lists are sorted directly.
+    const auto owned =
+        static_cast<std::size_t>(shard.end - shard.begin);
+    if (shard.active.size() >= owned / 16) {
+      shard.active.clear();
+      for (VertexId v = shard.begin; v < shard.end; ++v) {
+        if (active_stamp_[static_cast<std::size_t>(v)] == stamp) {
+          shard.active.push_back(v);
         }
       }
-    } else if (!std::is_sorted(active_.begin(), active_.end())) {
-      std::sort(active_.begin(), active_.end());
+    } else if (!std::is_sorted(shard.active.begin(), shard.active.end())) {
+      std::sort(shard.active.begin(), shard.active.end());
     }
   }
-
-  for (auto& staging : staging_) staging.clear_round();
 }
 
 SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
   reset(protocol);
   protocol.begin(graph_);
+  protocol.begin_workers(workers_);
 
   // Worker pool for the duration of this run (workers_ > 1 only). Each
-  // worker executes a contiguous slice of the round's vertex list into
-  // its own staging buffer; the main thread takes slice 0.
+  // round is two dispatched stages — execute then collect — with the
+  // main thread driving shard 0 and the roll-up between rounds.
   std::mutex mutex;
   std::condition_variable cv_start;
   std::condition_variable cv_done;
   std::uint64_t generation = 0;
   unsigned outstanding = 0;
   bool stop = false;
-  std::span<const VertexId> job{};
+  bool collect_stage = false;
+  bool stage_use_active = false;
+  unsigned stage_parity = 0;
   std::vector<std::thread> pool;
 
-  const auto run_slice = [&](std::span<const VertexId> vertices, unsigned w) {
-    const std::size_t chunk =
-        (vertices.size() + workers_ - 1) / workers_;
-    const std::size_t begin = std::min(vertices.size(), w * chunk);
-    const std::size_t end = std::min(vertices.size(), begin + chunk);
-    detail::SendStaging& staging = staging_[w];
+  const auto run_stage = [&](unsigned s, bool collect, unsigned parity,
+                             bool use_active) {
     try {
-      for (std::size_t i = begin; i < end; ++i) {
-        run_vertex(protocol, vertices[i], staging);
+      if (collect) {
+        collect_shard(s, parity);
+      } else {
+        execute_shard(protocol, s, parity, use_active);
       }
     } catch (...) {
-      staging.error = std::current_exception();
+      worker_errors_[s] = std::current_exception();
+    }
+  };
+
+  const auto dispatch = [&](bool collect, unsigned parity, bool use_active) {
+    {
+      const std::scoped_lock lock(mutex);
+      collect_stage = collect;
+      stage_parity = parity;
+      stage_use_active = use_active;
+      outstanding = workers_ - 1;
+      ++generation;
+    }
+    cv_start.notify_all();
+    run_stage(0, collect, parity, use_active);
+    {
+      std::unique_lock lock(mutex);
+      cv_done.wait(lock, [&] { return outstanding == 0; });
     }
   };
 
@@ -290,16 +351,19 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
       pool.emplace_back([&, w] {
         std::uint64_t seen = 0;
         while (true) {
-          std::span<const VertexId> vertices;
+          bool collect;
+          bool use_active;
+          unsigned parity;
           {
             std::unique_lock lock(mutex);
-            cv_start.wait(lock,
-                          [&] { return stop || generation != seen; });
+            cv_start.wait(lock, [&] { return stop || generation != seen; });
             if (stop) return;
             seen = generation;
-            vertices = job;
+            collect = collect_stage;
+            parity = stage_parity;
+            use_active = stage_use_active;
           }
-          run_slice(vertices, w);
+          run_stage(w, collect, parity, use_active);
           {
             const std::scoped_lock lock(mutex);
             if (--outstanding == 0) cv_done.notify_one();
@@ -325,39 +389,76 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
 
   while (current_round_ < max_rounds && !protocol.finished()) {
     const bool use_active = scheduled_ && current_round_ > 0;
-    const std::span<const VertexId> vertices =
-        use_active ? std::span<const VertexId>(active_)
-                   : std::span<const VertexId>(all_vertices_);
-    if (use_active && vertices.empty() && pending_wakes_ == 0) {
-      // Quiescent: no inbox, no pending wake — no future round can
-      // change state, so running to the cap would only burn time.
-      break;
-    }
-    metrics_.vertex_activations += vertices.size();
-
-    if (workers_ == 1 || vertices.size() < 2) {
-      for (const VertexId v : vertices) {
-        run_vertex(protocol, v, staging_[0]);
+    std::size_t total = 0;
+    if (use_active) {
+      std::size_t pending = 0;
+      for (const detail::Shard& shard : shards_) {
+        total += shard.active.size();
+        pending += shard.pending_wakes;
+      }
+      if (total == 0 && pending == 0) {
+        // Quiescent: no inbox, no pending wake — no future round can
+        // change state, so running to the cap would only burn time.
+        break;
       }
     } else {
-      {
-        const std::scoped_lock lock(mutex);
-        job = vertices;
-        outstanding = workers_ - 1;
-        ++generation;
+      total = static_cast<std::size_t>(graph_.num_vertices());
+    }
+    metrics_.vertex_activations += total;
+
+    const auto parity = static_cast<unsigned>(current_round_ & 1);
+    if (workers_ == 1 || total < 2) {
+      // Serial path (also the tiny-round fast path): every shard's
+      // staging is cleared, all vertices run into worker slot 0's
+      // staging — bucket routing keeps delivery and wake ownership
+      // exactly as in the parallel path — and collects run in shard
+      // order on this thread.
+      for (unsigned w = 1; w < workers_; ++w) {
+        staging_[parity][w].clear_round();
       }
-      cv_start.notify_all();
-      run_slice(vertices, 0);
-      {
-        std::unique_lock lock(mutex);
-        cv_done.wait(lock, [&] { return outstanding == 0; });
+      detail::SendStaging& staging = staging_[parity][0];
+      staging.clear_round();
+      for (unsigned s = 0; s < workers_; ++s) {
+        const detail::Shard& shard = shards_[s];
+        if (use_active) {
+          for (const VertexId v : shard.active) {
+            run_vertex(protocol, v, staging, 0);
+          }
+        } else {
+          for (VertexId v = shard.begin; v < shard.end; ++v) {
+            run_vertex(protocol, v, staging, 0);
+          }
+        }
       }
-      for (const auto& staging : staging_) {
-        if (staging.error) std::rethrow_exception(staging.error);
+      for (unsigned s = 0; s < workers_; ++s) collect_shard(s, parity);
+    } else {
+      dispatch(/*collect=*/false, parity, use_active);
+      dispatch(/*collect=*/true, parity, use_active);
+      for (std::exception_ptr& error : worker_errors_) {
+        if (error) {
+          const std::exception_ptr rethrown = error;
+          std::fill(worker_errors_.begin(), worker_errors_.end(), nullptr);
+          std::rethrow_exception(rethrown);
+        }
       }
     }
 
-    collect_round();
+    // Roll the shard accumulators into the run metrics — O(S) per round
+    // on this thread, no shared counters during the round.
+    std::uint64_t round_total = 0;
+    for (detail::Shard& shard : shards_) {
+      round_total += shard.round_messages;
+      metrics_.words += shard.round_words;
+      if (shard.round_max_words > metrics_.max_message_words) {
+        metrics_.max_message_words = shard.round_max_words;
+      }
+      shard.round_messages = 0;
+      shard.round_words = 0;
+      shard.round_max_words = 0;
+    }
+    metrics_.messages += round_total;
+    round_messages_.push_back(round_total);
+
     ++current_round_;
   }
 

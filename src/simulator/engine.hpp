@@ -8,13 +8,27 @@
 // words; the engine records per-message widths so a protocol's CONGEST
 // compliance (O(1) words per message) can be asserted by tests/benches.
 //
-// Implementation (see docs/ARCHITECTURE.md for the arena diagram): a
-// round performs zero per-message heap allocations. Sends append the
-// payload words to a flat, reusable word arena and a fixed-size header
-// to a staging list; at the round boundary the headers are counting-
-// sorted by receiver into a CSR index over the arena, so each vertex's
-// inbox is a contiguous span of `MessageView`s. All buffers are engine
-// members whose capacity persists across rounds (and across run()s).
+// Implementation (see docs/ARCHITECTURE.md for the shard diagram): the
+// vertex set is split into `threads`-many contiguous SHARDS, each owned
+// by one worker. A round has two parallel stages:
+//
+//   stage 1 (execute): worker w runs the scheduled vertices of shard w.
+//     Sends are routed owner-computes at stage time: worker w keeps one
+//     staging bucket per destination shard (headers + flat payload
+//     words), so a send appends to bucket (w -> shard_of(to)).
+//   stage 2 (exchange + deliver): worker t counting-sorts the headers of
+//     the S buckets addressed to shard t — a fixed-size all-to-all of
+//     bucket slices, no global sort, no serial merge — into shard t's
+//     CSR inbox index. Inbox views point straight into the source
+//     buckets' word arenas (zero payload copies); buckets are
+//     double-buffered by round parity so the views stay valid while the
+//     next round stages into the other parity.
+//
+// Iterating source buckets in worker order reproduces the serial
+// vertex-order send sequence (shards are ascending contiguous id
+// ranges), so results and metrics are bit-identical for every thread /
+// shard count. All buffers persist across rounds and run()s: steady-
+// state rounds perform zero heap allocations.
 //
 // Scheduling: by default only vertices with a nonempty inbox or a
 // pending self-wake (Outbox::wake_self_in) execute in a round — quiet
@@ -22,21 +36,14 @@
 // act spontaneously once and set up their wake chains. Protocols whose
 // vertices act on a round timetable without messages or self-wakes
 // override Protocol::needs_spontaneous_rounds() to opt out, and then
-// every vertex runs every round (the pre-arena behavior). When a
-// scheduled run reaches quiescence — no active vertex and no pending
-// wake — the engine stops early: no future round could change state.
-//
-// Parallelism: EngineOptions::threads > 1 executes the vertices of a
-// round concurrently. Protocols must not share mutable state between
-// vertices (aggregate counters must be atomic): the engine calls
-// on_round() for every vertex with only that vertex's inbox, and the
-// outputs become visible to neighbors in the *next* round, exactly as in
-// the standard synchronous model. Each worker stages its sends privately
-// and the engine merges the staging buffers in vertex order, so results
-// and metrics are bit-identical for any thread count. The default is
-// single-threaded.
+// every vertex runs every round. When a scheduled run reaches
+// quiescence — no active vertex and no pending wake — the engine stops
+// early: no future round could change state. Active lists, wake
+// calendars, and quiescence counts are all shard-local; only the O(S)
+// per-round roll-up runs on the driving thread.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <exception>
 #include <initializer_list>
@@ -50,9 +57,9 @@
 namespace dsnd {
 
 /// A delivered message: sender plus a view of the payload words. The
-/// span points into the engine's round arena and is valid only for the
-/// duration of the on_round() call it was passed to; protocols that need
-/// a payload later must copy the words.
+/// span points into the engine's staging arenas and is valid only for
+/// the duration of the on_round() call it was passed to; protocols that
+/// need a payload later must copy the words.
 struct MessageView {
   VertexId from = -1;
   std::span<const std::uint64_t> words;
@@ -67,15 +74,17 @@ struct EngineOptions {
   /// every round.
   bool active_scheduling = true;
 
-  /// Worker threads for vertex execution. 1 = serial (default);
-  /// 0 = hardware concurrency. Any value produces identical results.
+  /// Worker threads for vertex execution — also the shard count: the
+  /// vertex set is split into this many contiguous ownership ranges.
+  /// 1 = serial (default); 0 = hardware concurrency. Any value produces
+  /// identical results.
   unsigned threads = 1;
 };
 
 namespace detail {
 
 /// One staged send: receiver, sender, and the payload's location in the
-/// staging word arena. 64-bit word offsets keep >4G-word rounds valid.
+/// bucket's word arena. 64-bit word offsets keep >4G-word rounds valid.
 struct MsgHeader {
   VertexId from = -1;
   VertexId to = -1;
@@ -83,22 +92,54 @@ struct MsgHeader {
   std::size_t word_begin = 0;
 };
 
-/// Per-worker send buffer: headers + flat payload words + wake requests.
-/// Capacity persists across rounds, so steady-state rounds allocate
-/// nothing. With threads > 1 each worker owns one and the engine merges
-/// them in vertex order at the round boundary.
-struct SendStaging {
+/// One (source worker -> destination shard) staging bucket: headers,
+/// flat payload words, and the wake requests of senders owned by the
+/// destination shard. Capacity persists across rounds.
+struct ShardBucket {
   std::vector<MsgHeader> headers;
   std::vector<std::uint64_t> words;
   std::vector<std::pair<std::uint64_t, VertexId>> wakes;  // (round, vertex)
-  std::exception_ptr error;
 
-  void clear_round() {
+  void clear() {
     headers.clear();
     words.clear();
     wakes.clear();
-    error = nullptr;
   }
+};
+
+/// Per-worker send staging for one round parity: one bucket per
+/// destination shard. With threads > 1 each worker owns one; the round
+/// boundary exchanges bucket slices instead of merging arenas.
+struct SendStaging {
+  std::vector<ShardBucket> buckets;
+
+  void clear_round() {
+    for (ShardBucket& bucket : buckets) bucket.clear();
+  }
+};
+
+/// Shard-local delivery and scheduling state, owned by one worker and
+/// cache-line padded so neighboring shards never share a line.
+struct alignas(64) Shard {
+  VertexId begin = 0;  // owned vertex range [begin, end)
+  VertexId end = 0;
+
+  // This round's inboxes for owned receivers: CSR over inbox_views,
+  // payload spans into the source buckets.
+  std::vector<MessageView> inbox_views;
+  std::vector<VertexId> touched;  // owned receivers with mail
+
+  // Active-vertex scheduling: next round's owned active list and the
+  // shard's wake calendar (power-of-two ring keyed by target round).
+  std::vector<VertexId> active;
+  std::vector<std::vector<std::pair<std::uint64_t, VertexId>>> wake_ring;
+  std::size_t pending_wakes = 0;
+
+  // Per-round accumulators, rolled up by the driving thread at the end
+  // of stage 2 — no cross-core contention during the round.
+  std::uint64_t round_messages = 0;
+  std::uint64_t round_words = 0;
+  std::size_t round_max_words = 0;
 };
 
 }  // namespace detail
@@ -118,7 +159,8 @@ class Outbox {
   }
 
   /// Queues the same payload to every neighbor of the current vertex.
-  /// The payload words are stored once and shared by all copies.
+  /// The payload words are stored once per destination shard touched and
+  /// shared by all copies addressed to that shard.
   void send_to_all_neighbors(std::span<const std::uint64_t> words);
 
   void send_to_all_neighbors(std::initializer_list<std::uint64_t> words) {
@@ -132,10 +174,17 @@ class Outbox {
   /// timetable schedules the wake instead of running every round.
   void wake_self_in(std::size_t rounds);
 
+  /// Index of the worker executing this vertex, < the count announced by
+  /// Protocol::begin_workers. Protocols index per-worker accumulator
+  /// slots with it instead of sharing atomic counters across cores.
+  unsigned worker() const { return worker_; }
+
  private:
   friend class SyncEngine;
-  Outbox(SyncEngine& engine, detail::SendStaging& staging, VertexId sender)
-      : engine_(engine), staging_(staging), sender_(sender) {}
+  Outbox(SyncEngine& engine, detail::SendStaging& staging, VertexId sender,
+         unsigned worker)
+      : engine_(engine), staging_(staging), sender_(sender),
+        worker_(worker) {}
 
   /// Adjacency check: a monotone cursor over the sorted neighbor row
   /// makes in-order send sequences O(1) amortized per send; out-of-order
@@ -149,6 +198,7 @@ class Outbox {
   SyncEngine& engine_;
   detail::SendStaging& staging_;
   VertexId sender_;
+  unsigned worker_;
   std::span<const VertexId> neighbors_;
   std::size_t cursor_ = 0;
   bool neighbors_fetched_ = false;
@@ -163,6 +213,12 @@ class Protocol {
   /// Called once before the first round.
   virtual void begin(const Graph& g) = 0;
 
+  /// Called once per run() after begin() with the number of workers that
+  /// will execute rounds. Protocols that keep aggregate counters size
+  /// one accumulator slot per worker here (indexed by Outbox::worker(),
+  /// summed when read) instead of sharing atomics across cores.
+  virtual void begin_workers(unsigned workers) { (void)workers; }
+
   /// Called per round for each scheduled vertex with the messages
   /// delivered to it (sent by neighbors in the previous round).
   virtual void on_round(VertexId v, std::size_t round,
@@ -171,6 +227,8 @@ class Protocol {
   /// Checked after every round; true stops the engine. A global predicate
   /// is a simulation convenience (real deployments use termination
   /// detection); it never feeds information back into on_round decisions.
+  /// Always invoked on the driving thread between rounds, so per-worker
+  /// accumulators may be summed without synchronization.
   virtual bool finished() const = 0;
 
   /// Scheduling opt-out. Protocols whose vertices act spontaneously on a
@@ -192,46 +250,54 @@ class SyncEngine {
   const Graph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Resolved worker/shard count (threads = 0 resolves to the hardware
+  /// concurrency at construction).
+  unsigned workers() const { return workers_; }
+
  private:
   friend class Outbox;
 
+  unsigned shard_of(VertexId v) const {
+    return static_cast<unsigned>(v / shard_width_);
+  }
+
   void reset(Protocol& protocol);
   void run_vertex(Protocol& protocol, VertexId v,
-                  detail::SendStaging& staging);
-  /// Round boundary: merges the staging buffers into the next round's
-  /// CSR inbox index, fires due wakes, and builds the next active list.
-  void collect_round();
-  void ring_insert(std::uint64_t target, VertexId v);
+                  detail::SendStaging& staging, unsigned worker);
+  /// Stage 1 for one shard: clear this parity's staging and execute the
+  /// shard's scheduled vertices.
+  void execute_shard(Protocol& protocol, unsigned s, unsigned parity,
+                     bool use_active);
+  /// Stage 2 for one shard: counting-sort the buckets addressed to it
+  /// into its CSR inbox, fire due wakes, build its next active list.
+  void collect_shard(unsigned s, unsigned parity);
+  void ring_insert(detail::Shard& shard, std::uint64_t target, VertexId v);
 
   const Graph& graph_;
   const EngineOptions options_;
   unsigned workers_ = 1;
+  VertexId shard_width_ = 1;  // ceil(n / workers): shard s owns
+                              // [s*width, min((s+1)*width, n))
   bool scheduled_ = false;
   std::size_t current_round_ = 0;
 
-  std::vector<detail::SendStaging> staging_;
-  std::vector<std::size_t> staging_word_counts_;
+  // Double-buffered staging, indexed [round parity][source worker]. The
+  // parity written this round backs next round's inbox views; the other
+  // parity's views were consumed last round and its buckets are cleared
+  // when stage 1 next writes them.
+  std::array<std::vector<detail::SendStaging>, 2> staging_;
+  std::vector<detail::Shard> shards_;
+  std::vector<std::exception_ptr> worker_errors_;
 
-  // Current round's inboxes: CSR over inbox_views_, payloads in the
-  // words_live_ arena. inbox_begin_/inbox_len_ are valid for the
-  // receivers listed in touched_; inbox_len_ is zero elsewhere.
-  std::vector<std::uint64_t> words_live_;
-  std::vector<std::uint64_t> words_merge_;
-  std::vector<MessageView> inbox_views_;
+  // Per-vertex delivery slots, each touched only by its owner's worker.
+  // inbox_begin_/inbox_len_ index the owner shard's inbox_views and are
+  // valid for the receivers in that shard's touched list; inbox_len_ is
+  // zero elsewhere.
   std::vector<std::size_t> inbox_begin_;
   std::vector<std::size_t> inbox_fill_;
   std::vector<std::uint32_t> inbox_len_;
   std::vector<std::uint32_t> inbox_count_;
-  std::vector<VertexId> touched_;
-
-  // Active-vertex scheduling state. wake_ring_ is a power-of-two
-  // calendar of (target round, vertex) pairs; active_stamp_ deduplicates
-  // the next active list.
-  std::vector<VertexId> all_vertices_;
-  std::vector<VertexId> active_;
   std::vector<std::uint64_t> active_stamp_;
-  std::vector<std::vector<std::pair<std::uint64_t, VertexId>>> wake_ring_;
-  std::size_t pending_wakes_ = 0;
 
   SimMetrics metrics_;
   std::vector<std::uint64_t> round_messages_;

@@ -117,5 +117,62 @@ TEST(DistributedParity, ParityHoldsUnderEngineConfigurations) {
   }
 }
 
+TEST(DistributedParity, ShardCountInvarianceAcrossTheoremsAndFamilies) {
+  // The sharded engine's acceptance matrix: for every theorem x family,
+  // thread/shard counts 1, 2, 4, and 7 (7 does not divide the vertex
+  // count — shards of unequal width) must reproduce the serial run
+  // bit-for-bit: clustering, message totals, and per-round traffic.
+  for (const int theorem : {1, 2, 3}) {
+    for (const char* family : {"gnp", "ring", "rgg"}) {
+      const Graph g = make_family(family, 96, 5);
+      const std::uint64_t seed = 31 * static_cast<std::uint64_t>(theorem);
+      DistributedRun runs[4];
+      const unsigned thread_counts[] = {1, 2, 4, 7};
+      for (std::size_t i = 0; i < 4; ++i) {
+        EngineOptions engine;
+        engine.threads = thread_counts[i];
+        if (theorem == 1) {
+          ElkinNeimanOptions options;
+          options.k = 4;
+          options.seed = seed;
+          runs[i] = elkin_neiman_distributed(g, options, engine);
+        } else if (theorem == 2) {
+          MultistageOptions options;
+          options.k = 3;
+          options.seed = seed;
+          runs[i] = multistage_distributed(g, options, engine);
+        } else {
+          HighRadiusOptions options;
+          options.lambda = 3;
+          options.seed = seed;
+          runs[i] = high_radius_distributed(g, options, engine);
+        }
+      }
+      for (std::size_t i = 1; i < 4; ++i) {
+        const std::string label = std::string("T") +
+                                  std::to_string(theorem) + " " + family +
+                                  " threads=" +
+                                  std::to_string(thread_counts[i]);
+        ASSERT_EQ(runs[i].run.carve.phases_used,
+                  runs[0].run.carve.phases_used)
+            << label;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_EQ(runs[i].run.clustering().cluster_of(v),
+                    runs[0].run.clustering().cluster_of(v))
+              << label << " v=" << v;
+        }
+        EXPECT_EQ(runs[i].sim.messages, runs[0].sim.messages) << label;
+        EXPECT_EQ(runs[i].sim.words, runs[0].sim.words) << label;
+        EXPECT_EQ(runs[i].sim.messages_per_round,
+                  runs[0].sim.messages_per_round)
+            << label;
+        EXPECT_EQ(runs[i].sim.vertex_activations,
+                  runs[0].sim.vertex_activations)
+            << label;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dsnd

@@ -202,6 +202,55 @@ TEST(Generators, RggShape) {
   EXPECT_THROW(make_rgg(10, 1.5, 1), std::invalid_argument);
 }
 
+// --- Chunk-count invariance (the KaGen-style stream-splitting contract):
+// the parallel generators derive one RNG stream per unit of work (G(n,p)
+// row, RGG point), so the graph is a function of (parameters, seed)
+// alone — never of how many chunks/threads generated it.
+
+TEST(Generators, GnpIndependentOfChunkCount) {
+  const Graph reference = make_gnp(300, 0.04, 9, 1);
+  for (const unsigned threads : {2u, 4u, 7u, 0u}) {
+    EXPECT_EQ(make_gnp(300, 0.04, 9, threads), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Generators, RggIndependentOfChunkCount) {
+  const GeometricGraph reference = make_rgg_geometric(400, 0.08, 3, 1);
+  for (const unsigned threads : {2u, 5u, 7u}) {
+    const GeometricGraph parallel = make_rgg_geometric(400, 0.08, 3, threads);
+    EXPECT_EQ(parallel.graph, reference.graph) << "threads=" << threads;
+    EXPECT_EQ(parallel.x, reference.x) << "threads=" << threads;
+    EXPECT_EQ(parallel.y, reference.y) << "threads=" << threads;
+  }
+}
+
+TEST(Generators, CycleIndependentOfChunkCount) {
+  EXPECT_EQ(make_cycle(101, 4), make_cycle(101, 1));
+  EXPECT_EQ(make_cycle(3, 8), make_cycle(3));
+}
+
+TEST(Graphs, FromCsrAdoptsAndValidates) {
+  // Path 0-1-2 as a prebuilt CSR.
+  const Graph g = Graph::from_csr({0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  // Rejections: non-monotone offsets, out-of-range / duplicate / unsorted
+  // rows, self-loops, bad terminator.
+  EXPECT_THROW(Graph::from_csr({0, 2, 1, 4}, {1, 0, 2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 3, 4}, {1, 0, 2, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 3, 4}, {1, 2, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 3, 4}, {0, 0, 2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 3, 5}, {1, 0, 2, 1}),
+               std::invalid_argument);
+}
+
 TEST(Generators, StandardFamiliesProduceReasonableSizes) {
   for (const GraphFamily& family : standard_families()) {
     const Graph g = family.make(128, 42);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <vector>
 
@@ -330,6 +331,9 @@ TEST(Simulator, DeterministicAcrossSchedulingAndThreads) {
   EngineOptions hardware_threads;
   hardware_threads.threads = 0;
   variants.push_back(hardware_threads);
+  EngineOptions seven_threads;  // does not divide n: uneven shards
+  seven_threads.threads = 7;
+  variants.push_back(seven_threads);
   EngineOptions unscheduled_parallel;
   unscheduled_parallel.active_scheduling = false;
   unscheduled_parallel.threads = 3;
@@ -354,6 +358,78 @@ TEST(Simulator, DeterministicAcrossSchedulingAndThreads) {
       elkin_neiman_distributed(g, options, unscheduled);
   EXPECT_LT(reference.sim.vertex_activations,
             every_vertex.sim.vertex_activations);
+}
+
+/// Every vertex checks that its worker index stays inside the count the
+/// engine announced via begin_workers, and that vertices are executed by
+/// the worker owning their shard (contiguous ranges) whenever the round
+/// runs parallel.
+class WorkerIndexProtocol final : public Protocol {
+ public:
+  void begin(const Graph& g) override {
+    n_ = g.num_vertices();
+    announced_ = 0;
+  }
+  void begin_workers(unsigned workers) override { announced_ = workers; }
+  void on_round(VertexId v, std::size_t, std::span<const MessageView>,
+                Outbox& out) override {
+    // Recorded, not EXPECTed: on_round may run on pool threads and gtest
+    // assertions are only thread-safe on the main thread.
+    if (announced_ == 0 || out.worker() >= announced_) {
+      violation_.store(true, std::memory_order_relaxed);
+    }
+    out.send_to_all_neighbors({static_cast<std::uint64_t>(v)});
+  }
+  bool finished() const override { return false; }
+  bool needs_spontaneous_rounds() const override { return true; }
+  unsigned announced() const { return announced_; }
+  bool violated() const { return violation_.load(); }
+
+ private:
+  VertexId n_ = 0;
+  unsigned announced_ = 0;
+  std::atomic<bool> violation_{false};
+};
+
+TEST(Simulator, BeginWorkersAnnouncesResolvedCount) {
+  const Graph g = make_path(40);
+  for (const unsigned threads : {1u, 3u, 7u}) {
+    WorkerIndexProtocol protocol;
+    EngineOptions options;
+    options.threads = threads;
+    SyncEngine engine(g, options);
+    engine.run(protocol, 4);
+    EXPECT_EQ(protocol.announced(), threads);
+    EXPECT_EQ(engine.workers(), threads);
+    EXPECT_FALSE(protocol.violated());
+  }
+  // More threads than vertices: the engine clamps the shard count.
+  WorkerIndexProtocol protocol;
+  EngineOptions options;
+  options.threads = 64;
+  const Graph tiny = make_path(5);
+  SyncEngine engine(tiny, options);
+  engine.run(protocol, 2);
+  EXPECT_EQ(protocol.announced(), 5u);
+  EXPECT_FALSE(protocol.violated());
+}
+
+TEST(Simulator, FloodIdenticalAcrossShardCounts) {
+  const Graph g = make_gnp(300, 6.0 / 299.0, 17);
+  FloodProtocol reference;
+  SyncEngine serial(g);
+  const SimMetrics base = serial.run(reference, 100);
+  for (const unsigned threads : {2u, 5u, 8u}) {
+    FloodProtocol protocol;
+    EngineOptions options;
+    options.threads = threads;
+    SyncEngine engine(g, options);
+    const SimMetrics metrics = engine.run(protocol, 100);
+    EXPECT_EQ(metrics.rounds, base.rounds);
+    EXPECT_EQ(metrics.messages, base.messages);
+    EXPECT_EQ(metrics.messages_per_round, base.messages_per_round);
+    EXPECT_EQ(protocol.seen_round(), reference.seen_round());
+  }
 }
 
 TEST(SimMetrics, AveragesAndFormatting) {
