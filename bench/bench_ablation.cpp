@@ -35,6 +35,9 @@ void margin_ablation(int seeds) {
       ElkinNeimanOptions options;
       options.k = k;
       options.margin = margin;
+      // kTruncate: condition on the no-overflow event as the paper's
+      // analysis does, instead of letting the recarve loop resample.
+      options.overflow_policy = OverflowPolicy::kTruncate;
       options.seed = static_cast<std::uint64_t>(s) * 179424673 + 3;
       const DecompositionRun run = elkin_neiman_decomposition(g, options);
       if (run.carve.radius_overflow) continue;  // isolate the margin effect
@@ -93,6 +96,7 @@ void forwarding_ablation(int seeds) {
         beta);
     params.phase_rounds = k;
     params.radius_overflow_at = k + 1.0;
+    params.overflow_policy = OverflowPolicy::kTruncate;  // condition, not retry
     params.seed = static_cast<std::uint64_t>(s) * 49979687 + 5;
     const CarveResult top2 = carve_decomposition(g, params);
     params.forward_policy = ForwardPolicy::kTop1;
@@ -157,6 +161,9 @@ void c_sensitivity(int seeds) {
       ElkinNeimanOptions options;
       options.k = 4;
       options.c = c;
+      // The sweep measures the raw Lemma 1 event rate against its 2/c
+      // bound, so disable the recovery that would otherwise hide it.
+      options.overflow_policy = OverflowPolicy::kTruncate;
       options.seed = static_cast<std::uint64_t>(s) * 32452843 + 9;
       const DecompositionRun run = elkin_neiman_decomposition(g, options);
       if (run.carve.radius_overflow) ++overflow;

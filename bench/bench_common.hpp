@@ -54,6 +54,43 @@ inline const std::vector<std::string>& default_families() {
   return kNames;
 }
 
+/// Las Vegas overflow accounting shared by the theorem benches. Under
+/// the default OverflowPolicy::kRetry every run's output is valid
+/// unconditionally, so the benches no longer skip "overflow rows" — they
+/// validate everything and report what the recovery cost (retries /
+/// extra rounds). The one case a validator may still legitimately flag
+/// is a run that ACCEPTED truncated samples (kTruncate ablations, or a
+/// blown retry budget), which accepted_truncated_samples() detects; all
+/// six theorem benches consult it the same way round (bench_theorem1
+/// historically inverted the test).
+inline bool accepted_truncated_samples(const CarveResult& carve) {
+  return carve.radius_overflow;
+}
+
+/// Sweep-level tally of the Lemma 1 recovery machinery; one per table
+/// row (or per bench), printed as a summary line or table cells.
+struct RetryStats {
+  std::int64_t retries = 0;
+  std::int64_t extra_rounds = 0;
+  int truncated_runs = 0;
+  /// Runs where Lemma 1's event fired at least once (recovered or not) —
+  /// the quantity the paper bounds by 2/c per run.
+  int event_runs = 0;
+
+  void observe(const CarveResult& carve) {
+    retries += carve.retries;
+    extra_rounds += carve.extra_rounds;
+    if (accepted_truncated_samples(carve)) ++truncated_runs;
+    if (carve.retries > 0 || accepted_truncated_samples(carve)) ++event_runs;
+  }
+
+  void print_line(std::ostream& out) const {
+    out << "Lemma 1 recoveries: retries=" << retries
+        << " extra_rounds=" << extra_rounds
+        << " truncated_runs=" << truncated_runs << "\n";
+  }
+};
+
 /// Returns true iff `flag` appears verbatim in argv.
 inline bool has_flag(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i < argc; ++i) {
@@ -185,11 +222,21 @@ struct EngineCaseOptions {
   /// from wall_ms as always); < 0 = not measured, field omitted.
   double construct_ms = -1.0;
   /// Carving seed. The theorems are probabilistic (success with
-  /// probability 1 - O(1)/c): a seed that hits Lemma 1's radius-overflow
-  /// event yields truncated broadcasts and a legitimately INVALID
-  /// (disconnected-cluster) run, which the row reports via the
-  /// radius_overflow JSON field.
+  /// probability 1 - O(1)/c); since PR 5 a seed that hits Lemma 1's
+  /// radius-overflow event is recovered by the Las Vegas recarve loop —
+  /// the row reports the cost via the retries / extra_rounds JSON fields
+  /// and stays valid. Only kTruncate (or a blown retry budget) can still
+  /// produce a legitimately INVALID row, flagged via radius_overflow.
   std::uint64_t seed = 42;
+  /// When > 0, overrides the schedule's Lemma 1 threshold. The CI
+  /// overflow smoke lowers it below k + 1 so the recarve loop triggers
+  /// (radii in [override, k+1) would not even truncate — the point is
+  /// to exercise the retry machinery, not to produce invalid output).
+  double radius_overflow_at = 0.0;
+  /// When > 0, overrides the schedule's per-phase retry budget. The
+  /// overflow smoke raises it so a lowered threshold can never fall
+  /// back to accepting overflowed samples.
+  std::int32_t max_retries_per_phase = 0;
 };
 
 /// Shared engine-scaling measurement (bench_congest E8d and
@@ -203,12 +250,18 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
                                   Table& table, JsonWriter& json,
                                   const EngineCaseOptions& options = {}) {
   const VertexId n = g.num_vertices();
-  const CarveSchedule schedule =
+  CarveSchedule schedule =
       options.theorem == 1 ? theorem1_schedule(n, options.param, 4.0)
       : options.theorem == 2
           ? theorem2_schedule(n, options.param, 6.0)
           : theorem3_schedule(n, options.param == 0 ? 3 : options.param,
                               4.0);
+  if (options.radius_overflow_at > 0.0) {
+    schedule.radius_overflow_at = options.radius_overflow_at;
+  }
+  if (options.max_retries_per_phase > 0) {
+    schedule.max_retries_per_phase = options.max_retries_per_phase;
+  }
   EngineOptions engine;
   engine.threads = options.threads;
   Timer timer;
@@ -266,7 +319,11 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
   if (options.construct_ms >= 0.0) {
     record.field("construct_ms", options.construct_ms);
   }
-  if (run.run.carve.radius_overflow) {
+  // Las Vegas recovery cost, always recorded (zero = Lemma 1 never
+  // fired) so the CI overflow smoke can grep for a nonzero count.
+  record.field("retries", run.run.carve.retries)
+      .field("extra_rounds", run.run.carve.extra_rounds);
+  if (accepted_truncated_samples(run.run.carve)) {
     record.field("radius_overflow", std::uint64_t{1});
   }
   if (options.validate) {

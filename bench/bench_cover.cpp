@@ -19,6 +19,7 @@ int main() {
 
   const int seeds = 3 * bench::scale();
   const std::int32_t k = 3;
+  bench::RetryStats stats;
   Table table({"family", "n", "W", "clusters", "colors", "max_overlap",
                "D_max", "D_bound", "balls_covered", "check"});
   for (const std::string& family : bench::default_families()) {
@@ -39,7 +40,8 @@ int main() {
               build_neighborhood_cover(g, options);
           const CoverReport report = validate_cover(g, cover);
           if (!report.all_balls_covered) covered_all = false;
-          if (cover.base.carve.radius_overflow) continue;
+          stats.observe(cover.base.carve);
+          if (bench::accepted_truncated_samples(cover.base.carve)) continue;
           ++checked;
           clusters.add(static_cast<double>(cover.clusters.size()));
           colors.add(cover.num_colors);
@@ -70,6 +72,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  stats.print_line(std::cout);
   std::cout << "\nmax_overlap stays <= colors (each vertex lies in at most "
                "chi cover clusters).\n";
   return 0;

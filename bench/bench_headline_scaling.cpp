@@ -33,6 +33,45 @@ double rgg_radius(VertexId n) {
 /// batch-validates its output with validate_decomposition_fast — at 1M
 /// vertices the O(n + m) validator is what makes checking the run (not
 /// just timing it) affordable.
+/// `--overflow-smoke` — the Las Vegas recarve loop under CI: a tiny
+/// Theorem 1 engine case whose Lemma 1 threshold is lowered far below
+/// k + 1, so the overflow event (and hence at least one phase replay)
+/// fires on every run. The emitted JSON must show valid rows with a
+/// nonzero `retries` field — the perf-smoke job greps for both, which
+/// pins the end-to-end property this bench once disproved at 10M
+/// vertices: overflow is recovered, not reported.
+void overflow_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
+  bench::print_header(
+      "E4e / overflow-forced recarve smoke",
+      "radius_overflow_at lowered so Lemma 1 fires every run; the "
+      "recarve loop must keep every clustering valid and bill the "
+      "retries");
+  Table table({"schedule", "family", "n", "m", "threads", "rounds",
+               "messages", "words", "activations", "wall_ms", "validate_ms",
+               "valid"});
+  bench::EngineCaseOptions options{1, 0, /*validate=*/true};
+  options.threads = threads;
+  // n = 20000, k = ceil(ln n) = 10, beta = ln(4n)/k ~ 1.13. A threshold
+  // of 8.5 puts n * Pr[r >= 8.5] ~ 1.4, so an early-phase sampling
+  // attempt overflows with probability ~3/4 (retries near-certain
+  // across the three rows below) while each retry still succeeds with
+  // probability ~1/4 — and the raised per-phase budget makes falling
+  // back to accepted overflow samples (0.74^65) astronomically
+  // unlikely, so validity is guaranteed by construction rather than by
+  // seed luck: radii below k + 1 = 11 never truncate, and radii above
+  // are always resampled away. Rows are fully seeded (graph seed 1,
+  // carve seed 42), so the retry counts are reproducible.
+  options.radius_overflow_at = 8.5;
+  options.max_retries_per_phase = 64;
+  const VertexId n = 20000;
+  bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+                             table, json, options);
+  bench::engine_scaling_case("ring", make_cycle(n), table, json, options);
+  bench::engine_scaling_case("rgg-deg8", family_by_name("rgg").make(n, 1),
+                             table, json, options);
+  table.print(std::cout);
+}
+
 void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke,
                     unsigned threads, bool no_large) {
   bench::print_header(
@@ -178,6 +217,10 @@ int main(int argc, char** argv) {
                    bench::has_flag(argc, argv, "--no-large"));
     return 0;
   }
+  if (bench::has_flag(argc, argv, "--overflow-smoke")) {
+    overflow_smoke(json, threads);
+    return 0;
+  }
   if (bench::has_flag(argc, argv, "--threads-sweep")) {
     threads_sweep(json,
                   /*with_ten_million=*/!bench::has_flag(argc, argv,
@@ -197,6 +240,7 @@ int main(int argc, char** argv) {
     std::vector<double> log_n, diameter_series, color_series, round_series;
     for (const VertexId n : {256, 512, 1024, 2048, 4096, 8192}) {
       Summary diameters, colors, rounds;
+      bench::RetryStats stats;
       for (int s = 0; s < seeds; ++s) {
         const Graph g = family_by_name(family).make(
             n, static_cast<std::uint64_t>(s) + 1);
@@ -205,13 +249,18 @@ int main(int argc, char** argv) {
         const DecompositionRun run = elkin_neiman_decomposition(g, options);
         colors.add(run.carve.phases_used);
         rounds.add(static_cast<double>(run.carve.rounds));
-        if (!run.carve.radius_overflow) {
+        stats.observe(run.carve);
+        if (!bench::accepted_truncated_samples(run.carve)) {
           const DecompositionReport report = validate_decomposition(
               g, run.clustering(), /*compute_weak=*/false);
           if (report.max_strong_diameter != kInfiniteDiameter) {
             diameters.add(report.max_strong_diameter);
           }
         }
+      }
+      if (stats.retries > 0 || stats.truncated_runs > 0) {
+        std::cout << family << " n=" << n << ": ";
+        stats.print_line(std::cout);
       }
       const double ln = std::log(static_cast<double>(n));
       log_n.push_back(ln);

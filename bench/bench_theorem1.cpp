@@ -9,7 +9,11 @@
 //   rounds     mean simulated rounds (phases * (k+1))
 //   rnd_bound  k * lambda
 //   success    fraction of runs exhausted within lambda phases (>= 1-3/c)
-//   overflow   fraction of runs where some radius reached k+1 (<= 2/c)
+//   overflow   fraction of runs where Lemma 1's event fired (<= 2/c); the
+//              Las Vegas recarve loop recovers every such run, so D_max
+//              now covers them too
+//   retries    total phase resamples the recovery cost across the seeds
+//   extra_rnds simulated rounds spent on the aborted attempts
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -24,9 +28,9 @@ void run_cell(Table& table, const std::string& family, VertexId n,
               std::int32_t k, double c, int seeds) {
   Summary diameters, colors, rounds;
   int successes = 0;
-  int overflows = 0;
   int diameter_runs = 0;
   bool bound_violated = false;
+  bench::RetryStats stats;
   for (int s = 0; s < seeds; ++s) {
     const Graph g = family_by_name(family).make(
         n, static_cast<std::uint64_t>(s) + 1);
@@ -38,9 +42,18 @@ void run_cell(Table& table, const std::string& family, VertexId n,
     colors.add(run.carve.phases_used);
     rounds.add(static_cast<double>(run.carve.rounds));
     if (run.carve.exhausted_within_target) ++successes;
-    if (run.carve.radius_overflow) {
-      ++overflows;
-    } else {
+    stats.observe(run.carve);
+    // The honest round claim: on the success event, measured rounds stay
+    // within the whp bound plus the billed Las Vegas recovery cost (the
+    // + phases_used slack is the per-phase membership-announcement round
+    // the k * lambda bound does not count).
+    if (run.carve.exhausted_within_target &&
+        static_cast<double>(run.carve.rounds) >
+            run.bounds.rounds_with_retries(run.carve.extra_rounds) +
+                static_cast<double>(run.carve.phases_used)) {
+      bound_violated = true;
+    }
+    if (!bench::accepted_truncated_samples(run.carve)) {
       const DecompositionReport report = validate_decomposition(
           g, run.clustering(), /*compute_weak=*/false);
       ++diameter_runs;
@@ -64,7 +77,9 @@ void run_cell(Table& table, const std::string& family, VertexId n,
       .cell(rounds.mean(), 0)
       .cell(static_cast<std::int64_t>(k) * lambda)
       .cell(static_cast<double>(successes) / seeds, 2)
-      .cell(static_cast<double>(overflows) / seeds, 2)
+      .cell(static_cast<double>(stats.event_runs) / seeds, 2)
+      .cell(static_cast<std::int64_t>(stats.retries))
+      .cell(static_cast<std::int64_t>(stats.extra_rounds))
       .cell(bound_violated ? "VIOLATED" : "ok");
 }
 
@@ -80,7 +95,7 @@ int main() {
 
   Table table({"family", "n", "k", "D_max", "D_bound", "colors",
                "col_bound", "rounds", "rnd_bound", "success", "overflow",
-               "check"});
+               "retries", "extra_rnds", "check"});
   const int base_seeds = 8 * bench::scale();
   for (const std::string& family : bench::default_families()) {
     for (const VertexId n : {256, 1024, 4096}) {
@@ -92,7 +107,8 @@ int main() {
     }
   }
   table.print(std::cout);
-  std::cout << "\n'check' is ok when every no-overflow run satisfied the "
-               "strong-diameter bound and proper coloring.\n";
+  std::cout << "\n'check' is ok when every non-truncated run satisfied "
+               "the strong-diameter bound and proper coloring (with the "
+               "Las Vegas recarve loop that is every run).\n";
   return 0;
 }

@@ -56,6 +56,7 @@ int main() {
       "but EN bounds the STRONG diameter by 2k-2 where LS93 does not");
 
   const int seeds = 8 * bench::scale();
+  bench::RetryStats stats;
   Table table({"family", "n", "k", "algo", "weak_max", "strong_max",
                "disc_clusters", "colors", "rounds"});
   for (const std::string& family : bench::default_families()) {
@@ -73,7 +74,8 @@ int main() {
           en_options.seed = seed;
           const DecompositionRun en_run =
               elkin_neiman_decomposition(g, en_options);
-          if (!en_run.carve.radius_overflow) {
+          stats.observe(en_run.carve);
+          if (!bench::accepted_truncated_samples(en_run.carve)) {
             en.fold(validate_decomposition(g, en_run.clustering()),
                     en_run.carve);
           }
@@ -109,6 +111,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  stats.print_line(std::cout);
   std::cout << "\nEN strong_max stays <= 2k-2 (no-overflow runs); LS93 "
                "strong_max is typically inf (disconnected clusters) while "
                "its weak_max also respects 2k-2.\n";

@@ -172,6 +172,10 @@ int main(int argc, char** argv) {
     const DecompositionRun run = elkin_neiman_decomposition(g, options);
     std::cout << "Elkin–Neiman Theorem 1: k=" << run.k << " phases="
               << run.carve.phases_used << " rounds=" << run.carve.rounds
+              << (run.carve.retries > 0
+                      ? " [" + std::to_string(run.carve.retries) +
+                            " recarve retries]"
+                      : "")
               << (run.carve.radius_overflow ? " [radius overflow]" : "")
               << "\n";
     report_clustering(g, run.clustering(), args);

@@ -68,8 +68,12 @@ int main(int argc, char** argv) {
             << "clusters connected:   "
             << (report.all_clusters_connected ? "yes" : "NO") << "\n"
             << "radius overflow:      "
-            << (run.carve.radius_overflow ? "yes (Lemma 1 event)" : "no")
+            << (run.carve.radius_overflow
+                    ? "yes (Lemma 1 event, truncated samples accepted)"
+                    : "no")
             << "\n"
+            << "Lemma 1 recoveries:   " << run.carve.retries
+            << " retries (" << run.carve.extra_rounds << " extra rounds)\n"
             << "greedy recoloring:    "
             << greedy_supergraph_colors(g, run.clustering())
             << " colors (vs " << run.clustering().num_colors()

@@ -13,6 +13,8 @@ CarveParams CarveSchedule::params(std::uint64_t seed,
   p.phase_rounds = phase_rounds;
   p.margin = margin;
   p.radius_overflow_at = radius_overflow_at;
+  p.overflow_policy = overflow_policy;
+  p.max_retries_per_phase = max_retries_per_phase;
   p.run_to_completion = run_to_completion;
   p.seed = seed;
   return p;

@@ -39,8 +39,19 @@ namespace dsnd {
 struct TheoremBounds {
   double strong_diameter = 0.0;
   double colors = 0.0;
+  /// The theorem's whp round bound. Under the Las Vegas recarve loop
+  /// (OverflowPolicy::kRetry) a run may additionally spend
+  /// CarveResult::extra_rounds replaying overflowed phases; compare
+  /// measured rounds against rounds_with_retries(run.extra_rounds) so
+  /// the round-complexity claim stays honest.
   double rounds = 0.0;
   double success_probability = 0.0;
+
+  /// The bound a specific Las Vegas run must meet: the whp bound plus
+  /// the rounds its recarve retries actually consumed.
+  double rounds_with_retries(std::int64_t extra_rounds) const {
+    return rounds + static_cast<double>(extra_rounds);
+  }
 };
 
 /// A fully derived carving schedule: the per-phase betas plus everything
@@ -57,6 +68,13 @@ struct CarveSchedule {
   std::int32_t phase_rounds = 1;
   /// Lemma 1's bad-event threshold (the paper's k + 1).
   double radius_overflow_at = 2.0;
+  /// Recovery discipline when the bad event fires (see OverflowPolicy):
+  /// kRetry makes every run's output valid unconditionally (Las Vegas);
+  /// kTruncate preserves the historical flag-and-proceed behavior for
+  /// ablations.
+  OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
+  /// Resample budget per phase under kRetry.
+  std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
   /// Effective radius parameter (integer k for Theorems 1-2; the derived
   /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
   double k = 0.0;
@@ -75,6 +93,17 @@ struct CarveSchedule {
   CarveParams params(std::uint64_t seed, bool run_to_completion = true,
                      double margin = 1.0) const;
 };
+
+/// Applies an entry point's overflow-recovery knobs to a derived
+/// schedule — the one place options-level policy meets the schedule, so
+/// every theorem wrapper (centralized and distributed) stays in sync.
+inline CarveSchedule with_overflow_policy(CarveSchedule schedule,
+                                          OverflowPolicy policy,
+                                          std::int32_t max_retries_per_phase) {
+  schedule.overflow_policy = policy;
+  schedule.max_retries_per_phase = max_retries_per_phase;
+  return schedule;
+}
 
 struct DecompositionRun {
   CarveResult carve;

@@ -19,8 +19,15 @@ bool CarveEntry::beats(const CarveEntry& other) const {
 }
 
 double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
-                           VertexId v, double beta) {
-  Xoshiro256ss rng(stream_seed(seed, static_cast<std::uint64_t>(phase) + 1,
+                           VertexId v, double beta, std::int32_t retry) {
+  // Retry salt rides in the (a = 0) channel, which the (phase + 1,
+  // vertex + 1) streams below never use, so retry 0 reproduces the
+  // historical stream bit-for-bit and every retry draws from an
+  // independent stream family.
+  const std::uint64_t base =
+      retry == 0 ? seed
+                 : stream_seed(seed, 0, static_cast<std::uint64_t>(retry));
+  Xoshiro256ss rng(stream_seed(base, static_cast<std::uint64_t>(phase) + 1,
                                static_cast<std::uint64_t>(v) + 1));
   return sample_exponential(rng, beta);
 }
@@ -134,6 +141,8 @@ bool phase_join_decision(const CarveEntry& best, const CarveEntry& second,
 CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
   DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
   DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
+  DSND_REQUIRE(params.max_retries_per_phase >= 0,
+               "retry budget must be nonnegative");
   for (double beta : params.betas) {
     DSND_REQUIRE(beta > 0.0, "every beta must be positive");
   }
@@ -161,20 +170,38 @@ CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
             ? params.betas[static_cast<std::size_t>(phase)]
             : params.betas.back();
 
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!alive[v]) continue;
-      radii[v] = carve_radius_sample(params.seed, phase,
-                                     static_cast<VertexId>(v), beta);
-      if (radii[v] >= params.radius_overflow_at) {
-        result.radius_overflow = true;
+    // Las Vegas recarve loop: resample the whole phase (fresh per-retry
+    // salt) while Lemma 1's event holds and the budget allows. Both the
+    // overflow flag and the reported max come straight from the sampling
+    // loop — not from the (truncated) broadcast state — so logs always
+    // show the event that actually fired.
+    for (std::int32_t retry = 0;; ++retry) {
+      bool attempt_overflow = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        radii[v] = carve_radius_sample(params.seed, phase,
+                                       static_cast<VertexId>(v), beta,
+                                       retry);
+        result.max_sampled_radius =
+            std::max(result.max_sampled_radius, radii[v]);
+        if (radii[v] >= params.radius_overflow_at) attempt_overflow = true;
       }
+      if (attempt_overflow &&
+          params.overflow_policy == OverflowPolicy::kRetry &&
+          retry < params.max_retries_per_phase) {
+        // The aborted attempt still costs one phase of simulated rounds
+        // (the distributed realization spends the phase broadcast
+        // aggregating the overflow bit before it can replay).
+        ++result.retries;
+        continue;
+      }
+      if (attempt_overflow) result.radius_overflow = true;
+      break;
     }
 
     PhaseState state = run_phase_broadcast(g, alive, radii,
                                            params.phase_rounds,
                                            params.forward_policy);
-    result.max_sampled_radius =
-        std::max(result.max_sampled_radius, state.max_radius);
 
     // Collect joiners grouped by chosen center; each (phase, center)
     // group is one cluster (Claim 3 makes it connected).
@@ -206,8 +233,10 @@ CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
   result.phases_used = phase;
   result.exhausted_within_target =
       remaining == 0 && phase <= result.target_phases;
-  result.rounds = static_cast<std::int64_t>(phase) *
-                  (static_cast<std::int64_t>(params.phase_rounds) + 1);
+  const auto phase_len = static_cast<std::int64_t>(params.phase_rounds) + 1;
+  result.extra_rounds = static_cast<std::int64_t>(result.retries) * phase_len;
+  result.rounds =
+      static_cast<std::int64_t>(phase) * phase_len + result.extra_rounds;
   return result;
 }
 

@@ -50,6 +50,29 @@ struct CarveEntry {
 /// second-place estimates and wrong clusterings.
 enum class ForwardPolicy { kTop2, kTop1 };
 
+/// What to do when Lemma 1's bad event fires during a phase (some live
+/// vertex samples r_v >= radius_overflow_at, so the ceil(k)-round
+/// broadcast would truncate it and Claim 3's connectivity certificate is
+/// void).
+///
+///   kRetry (default): abort the phase before joining, resample every
+///     live vertex with a fresh per-retry salt, and re-run — the
+///     Elkin–Neiman whp guarantee becomes a Las Vegas one (valid output
+///     unconditionally, expected O(1) extra phases). Each retry costs
+///     one extra phase of simulated rounds (phase_rounds + 1), billed in
+///     CarveResult::extra_rounds.
+///   kTruncate: the pre-PR-5 behavior, kept as the ablation escape
+///     hatch: radii are silently truncated to the broadcast budget, the
+///     join rule runs anyway, and the run merely reports
+///     radius_overflow — the output may contain disconnected clusters.
+enum class OverflowPolicy { kRetry, kTruncate };
+
+/// Default per-phase resample budget under OverflowPolicy::kRetry — the
+/// single source for every options struct and schedule that exposes the
+/// knob. Each retry fails with probability <= 2/c (Lemma 1), so blowing
+/// 16 in a row is astronomically unlikely in the theorem regimes.
+inline constexpr std::int32_t kDefaultMaxRetriesPerPhase = 16;
+
 /// Parameters of a full carving run.
 struct CarveParams {
   /// beta for phase t (0-based); called once per phase.
@@ -63,8 +86,14 @@ struct CarveParams {
   /// E9 ablation knob; the distributed protocol supports kTop2 only.
   ForwardPolicy forward_policy = ForwardPolicy::kTop2;
   /// Radius threshold of Lemma 1's bad event: some r_v >= radius_overflow_at
-  /// (the paper's k+1). Runs report whether it happened.
+  /// (the paper's k+1). overflow_policy decides what a run does about it.
   double radius_overflow_at = 2.0;
+  /// Recovery discipline for Lemma 1's event (see OverflowPolicy).
+  OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
+  /// Retry budget per phase under kRetry; when it is blown anyway the
+  /// phase falls back to truncated samples and the run reports
+  /// radius_overflow.
+  std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
   /// If true, keep carving with the last beta after the schedule is
   /// exhausted until every vertex is clustered (so the output is always a
   /// complete partition); the theorem's success event is
@@ -81,22 +110,41 @@ struct CarveResult {
   std::int32_t target_phases = 0;
   /// True iff the graph was exhausted within target_phases.
   bool exhausted_within_target = false;
-  /// Lemma 1's event: some sampled radius reached radius_overflow_at.
+  /// True iff a phase ACCEPTED samples containing a radius >=
+  /// radius_overflow_at — only possible under OverflowPolicy::kTruncate
+  /// or a blown retry budget. This is the "output may be invalid" flag:
+  /// under kRetry with an intact budget it is always false and the
+  /// clustering is valid unconditionally (the Las Vegas guarantee).
   bool radius_overflow = false;
+  /// Largest radius sampled across ALL attempts, including the discarded
+  /// ones — so logs show the Lemma 1 event that actually fired even when
+  /// a retry recovered from it.
   double max_sampled_radius = 0.0;
+  /// Lemma 1 recoveries: total resample retries across all phases.
+  std::int32_t retries = 0;
+  /// Rounds spent on aborted attempts: retries * (phase_rounds + 1). The
+  /// price of the Las Vegas guarantee, reported separately so the
+  /// theorems' round bounds stay comparable (measured rounds should meet
+  /// bounds.rounds + extra_rounds).
+  std::int64_t extra_rounds = 0;
   /// Vertices carved in each executed phase.
   std::vector<VertexId> carved_per_phase;
-  /// Simulated distributed rounds: phases_used * (phase_rounds + 1); each
-  /// phase spends phase_rounds broadcasting plus one round announcing
-  /// membership so neighbors learn the surviving graph.
+  /// Simulated distributed rounds: (phases_used + retries) *
+  /// (phase_rounds + 1); each attempt spends phase_rounds broadcasting
+  /// plus one round announcing membership (or, for an aborted attempt,
+  /// aggregating the overflow bit) so neighbors learn the surviving
+  /// graph.
   std::int64_t rounds = 0;
 };
 
 /// Samples r_v for vertex v in phase t: EXP(beta) via the per-(seed,
 /// phase, vertex) stream. Exposed so the distributed protocol and tests
-/// draw identical values.
+/// draw identical values. `retry` is the per-phase resample index of the
+/// Las Vegas recarve loop: retry 0 reproduces the historical stream;
+/// retry r > 0 mixes a fresh salt into the seed so aborted attempts
+/// never correlate with their replacements.
 double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
-                           VertexId v, double beta);
+                           VertexId v, double beta, std::int32_t retry = 0);
 
 /// Runs one phase over the vertices with alive[v] != 0. Returns for every
 /// vertex its top-2 entries after `phase_rounds` rounds of truncated

@@ -46,31 +46,87 @@ class CarvingProtocol final : public Protocol {
     sent_second_.assign(n, CarveEntry{});
     chosen_center_.assign(n, -1);
     chosen_phase_.assign(n, -1);
+    phase_ = 0;
+    step_ = 0;
+    retry_ = 0;
+    retries_total_ = 0;
+    abort_attempt_ = false;
+    accepted_overflow_ = false;
+    workers_ = 1;
     accum_.reset(1);
   }
 
-  void begin_workers(unsigned workers) override { accum_.reset(workers); }
+  void begin_workers(unsigned workers) override {
+    workers_ = workers == 0 ? 1 : workers;
+    accum_.reset(workers);
+  }
 
-  void on_round(VertexId v, std::size_t round,
+  // The shared round plan. The engine's global round counter no longer
+  // maps statically onto (phase, step): an attempt whose sampling round
+  // raised Lemma 1's overflow bit is replayed, shifting every later
+  // phase by one phase length. This hook — serial, between rounds —
+  // advances the plan and is the simulation's stand-in for the CONGEST
+  // aggregation of the overflow bit: real deployments would piggyback it
+  // on the ceil(k)-round phase broadcast (Ghaffari–Portmann-style
+  // detect-and-retry), which is why an aborted attempt is billed one
+  // full phase of rounds rather than restarting the moment the bit is
+  // known.
+  void on_round_begin(std::size_t round) override {
+    if (round == 0) return;  // begin() set up attempt (phase 0, retry 0)
+    if (step_ == 0) {
+      // The sampling round just ran: fold the per-worker overflow bits
+      // and fix this attempt's fate before any joining can happen.
+      bool attempt_overflow = false;
+      for (unsigned w = 0; w < workers_; ++w) {
+        attempt_overflow = attempt_overflow || accum_[w].attempt_overflow;
+        accum_[w].attempt_overflow = false;
+      }
+      abort_attempt_ = attempt_overflow &&
+                       params_.overflow_policy == OverflowPolicy::kRetry &&
+                       retry_ < params_.max_retries_per_phase;
+      if (attempt_overflow && !abort_attempt_) {
+        // Truncated samples are being accepted (kTruncate, or a blown
+        // retry budget): the output loses its validity certificate.
+        accepted_overflow_ = true;
+      }
+      step_ = 1;
+      return;
+    }
+    if (step_ < params_.phase_rounds) {
+      ++step_;
+      return;
+    }
+    // The deciding step just ran: start the next attempt — a salted
+    // replay of the same phase if this one was aborted, phase t+1
+    // otherwise.
+    if (abort_attempt_) {
+      ++retry_;
+      ++retries_total_;
+    } else {
+      ++phase_;
+      retry_ = 0;
+    }
+    step_ = 0;
+    abort_attempt_ = false;
+  }
+
+  void on_round(VertexId v, std::size_t /*round*/,
                 std::span<const MessageView> inbox, Outbox& out) override {
     const auto vi = static_cast<std::size_t>(v);
     if (!alive_[vi]) return;
-    const auto phase_len =
-        static_cast<std::size_t>(params_.phase_rounds) + 1;
-    const auto phase = static_cast<std::int32_t>(round / phase_len);
-    const auto step = static_cast<std::int32_t>(round % phase_len);
     Accum& accum = accum_[out.worker()];
 
-    if (step == 0) {
+    if (step_ == 0) {
       // Instrumentation only: the worker remembers the deepest phase any
       // of its vertices reached; the fold takes the max.
-      accum.phases_used = std::max(accum.phases_used, phase + 1);
+      accum.phases_used = std::max(accum.phases_used, phase_ + 1);
       const double beta =
-          phase < static_cast<std::int32_t>(params_.betas.size())
-              ? params_.betas[static_cast<std::size_t>(phase)]
+          phase_ < static_cast<std::int32_t>(params_.betas.size())
+              ? params_.betas[static_cast<std::size_t>(phase_)]
               : params_.betas.back();
-      const double r = carve_radius_sample(params_.seed, phase, name(v), beta);
-      if (r >= params_.radius_overflow_at) accum.radius_overflow = true;
+      const double r =
+          carve_radius_sample(params_.seed, phase_, name(v), beta, retry_);
+      if (r >= params_.radius_overflow_at) accum.attempt_overflow = true;
       accum.max_sampled_radius = std::max(accum.max_sampled_radius, r);
       best_[vi] = CarveEntry{r, 0, name(v)};
       second_[vi] = CarveEntry{};
@@ -78,8 +134,18 @@ class CarvingProtocol final : public Protocol {
       sent_second_[vi] = CarveEntry{};
       send_changed(v, out);
       // The quiet broadcast steps run on inbox arrivals only; the
-      // deciding step must run even with an empty inbox.
+      // deciding step must run even with an empty inbox. The wake chain
+      // survives a replay unchanged: an aborted attempt's deciding step
+      // re-arms the next attempt exactly like a surviving vertex does.
       out.wake_self_in(static_cast<std::size_t>(params_.phase_rounds));
+      return;
+    }
+
+    if (abort_attempt_) {
+      // This attempt is already condemned (the overflow bit is global
+      // knowledge by now); drop its broadcast on the floor and, at the
+      // deciding step, re-arm for the salted replay instead of joining.
+      if (step_ == params_.phase_rounds) out.wake_self_in(1);
       return;
     }
 
@@ -93,7 +159,7 @@ class CarvingProtocol final : public Protocol {
       merge(vi, entry);
     }
 
-    if (step < params_.phase_rounds) {
+    if (step_ < params_.phase_rounds) {
       send_changed(v, out);
       return;
     }
@@ -101,12 +167,12 @@ class CarvingProtocol final : public Protocol {
     // Deciding step.
     if (phase_join_decision(best_[vi], second_[vi], params_.margin)) {
       chosen_center_[vi] = best_[vi].center;
-      chosen_phase_[vi] = phase;
+      chosen_phase_[vi] = phase_;
       alive_[vi] = 0;
       ++accum.carved;
       out.send_to_all_neighbors({kTagLeave});
     } else {
-      // Survivors sample again at the next phase's step 0.
+      // Survivors sample again at the next attempt's step 0.
       out.wake_self_in(1);
     }
   }
@@ -125,16 +191,18 @@ class CarvingProtocol final : public Protocol {
     result.phases_used = phases_used;
     result.exhausted_within_target =
         remaining() == 0 && phases_used <= result.target_phases;
-    result.radius_overflow = accum_.fold(
-        false, [](bool acc, const Accum& a) {
-          return acc || a.radius_overflow;
-        });
+    result.radius_overflow = accepted_overflow_;
     result.max_sampled_radius = accum_.fold(
         0.0, [](double acc, const Accum& a) {
           return std::max(acc, a.max_sampled_radius);
         });
-    result.rounds = static_cast<std::int64_t>(phases_used) *
-                    (static_cast<std::int64_t>(params_.phase_rounds) + 1);
+    const auto phase_len =
+        static_cast<std::int64_t>(params_.phase_rounds) + 1;
+    result.retries = retries_total_;
+    result.extra_rounds =
+        static_cast<std::int64_t>(retries_total_) * phase_len;
+    result.rounds = static_cast<std::int64_t>(phases_used) * phase_len +
+                    result.extra_rounds;
 
     result.carved_per_phase.assign(
         static_cast<std::size_t>(phases_used), 0);
@@ -194,11 +262,14 @@ class CarvingProtocol final : public Protocol {
  private:
   /// Per-worker aggregate slice; all fields monotone under the fold, so
   /// totals are independent of which worker ran which vertex.
+  /// attempt_overflow is the one exception: it is per-attempt, written
+  /// during the sampling round and folded-and-cleared by the serial
+  /// on_round_begin hook before the next round runs.
   struct Accum {
     VertexId carved = 0;
     std::int32_t phases_used = 0;
     double max_sampled_radius = 0.0;
-    bool radius_overflow = false;
+    bool attempt_overflow = false;
   };
 
   VertexId name(VertexId v) const {
@@ -263,6 +334,16 @@ class CarvingProtocol final : public Protocol {
   const CarveParams params_;
   const std::span<const VertexId> names_;
   const Graph* graph_ = nullptr;
+  // Shared round plan, advanced only by the serial on_round_begin hook
+  // and read-only during rounds (so every worker sees one consistent
+  // (phase, step, retry, abort) view per round).
+  std::int32_t phase_ = 0;
+  std::int32_t step_ = 0;
+  std::int32_t retry_ = 0;
+  std::int32_t retries_total_ = 0;
+  bool abort_attempt_ = false;
+  bool accepted_overflow_ = false;
+  unsigned workers_ = 1;
   std::vector<char> alive_;
   std::vector<CarveEntry> best_;
   std::vector<CarveEntry> second_;
@@ -282,6 +363,8 @@ DistributedCarveResult carve_decomposition_distributed(
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
   DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
+  DSND_REQUIRE(params.max_retries_per_phase >= 0,
+               "retry budget must be nonnegative");
   DSND_REQUIRE(params.margin == 1.0,
                "the distributed protocol implements the paper's margin of 1");
   DSND_REQUIRE(params.forward_policy == ForwardPolicy::kTop2,
@@ -291,9 +374,15 @@ DistributedCarveResult carve_decomposition_distributed(
 
   CarvingProtocol protocol(params, vertex_names);
   SyncEngine engine(g, engine_options);
+  // Safety cap only (the run stops at exhaustion): every phase may
+  // additionally be replayed up to max_retries_per_phase times under the
+  // Las Vegas recarve loop, so the attempt budget scales with it.
+  const std::size_t attempts_per_phase =
+      1 + static_cast<std::size_t>(std::max(params.max_retries_per_phase, 0));
   const std::size_t max_rounds =
       (params.betas.size() * 8 + static_cast<std::size_t>(g.num_vertices()) +
        64) *
+      attempts_per_phase *
       (static_cast<std::size_t>(params.phase_rounds) + 1);
   DistributedCarveResult result;
   result.sim = engine.run(protocol, max_rounds);

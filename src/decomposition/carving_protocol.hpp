@@ -12,8 +12,17 @@
 // to the number of top-2 improvements rather than phase length.
 //
 // On the same seed the protocol is bit-identical to carve_decomposition:
-// both draw r_v from stream (seed, phase, vertex) and both compute the
-// same top-2 fixed point (see the displacement argument in DESIGN.md).
+// both draw r_v from stream (seed, phase, retry, vertex) and both compute
+// the same top-2 fixed point (see the displacement argument in DESIGN.md).
+//
+// Lemma 1 recovery (OverflowPolicy::kRetry, the default): when any live
+// vertex samples r_v >= radius_overflow_at at an attempt's sampling
+// round, the overflow bit aggregates during the phase broadcast (in the
+// simulation: folded between rounds by the serial Protocol::on_round_begin
+// hook), the deciding step re-arms every live vertex instead of joining,
+// and the phase replays with freshly salted radii — so the whp guarantee
+// becomes Las Vegas (always-valid output) at a cost of one phase length
+// of rounds per retry, billed in CarveResult::extra_rounds.
 #pragma once
 
 #include <cstdint>

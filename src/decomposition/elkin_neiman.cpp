@@ -57,7 +57,10 @@ DecompositionRun elkin_neiman_decomposition(
     const Graph& g, const ElkinNeimanOptions& options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   return run_schedule(
-      g, theorem1_schedule(g.num_vertices(), options.k, options.c),
+      g,
+      with_overflow_policy(
+          theorem1_schedule(g.num_vertices(), options.k, options.c),
+          options.overflow_policy, options.max_retries_per_phase),
       options.seed, options.run_to_completion, options.margin);
 }
 

@@ -33,6 +33,11 @@ struct ElkinNeimanOptions {
   /// Keep carving past lambda phases until the partition is complete
   /// (success of the theorem = not needing to).
   bool run_to_completion = true;
+  /// Lemma 1 recovery (see OverflowPolicy): the default Las Vegas
+  /// recarve loop makes the output valid unconditionally; kTruncate is
+  /// the flag-and-proceed ablation escape hatch.
+  OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
+  std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
 };
 
 /// The number of phases lambda = ceil((cn)^{1/k} ln(cn)) of Theorem 1.

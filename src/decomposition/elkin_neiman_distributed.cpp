@@ -23,7 +23,10 @@ DistributedRun elkin_neiman_distributed(const Graph& g,
   DSND_REQUIRE(options.margin == 1.0,
                "the distributed protocol implements the paper's margin of 1");
   return run_schedule_distributed(
-      g, theorem1_schedule(g.num_vertices(), options.k, options.c),
+      g,
+      with_overflow_policy(
+          theorem1_schedule(g.num_vertices(), options.k, options.c),
+          options.overflow_policy, options.max_retries_per_phase),
       options.seed, engine_options);
 }
 
@@ -32,7 +35,10 @@ DistributedRun multistage_distributed(const Graph& g,
                                       const EngineOptions& engine_options) {
   require_protocol_mode(g, options.run_to_completion);
   return run_schedule_distributed(
-      g, theorem2_schedule(g.num_vertices(), options.k, options.c),
+      g,
+      with_overflow_policy(
+          theorem2_schedule(g.num_vertices(), options.k, options.c),
+          options.overflow_policy, options.max_retries_per_phase),
       options.seed, engine_options);
 }
 
@@ -41,7 +47,10 @@ DistributedRun high_radius_distributed(const Graph& g,
                                        const EngineOptions& engine_options) {
   require_protocol_mode(g, options.run_to_completion);
   return run_schedule_distributed(
-      g, theorem3_schedule(g.num_vertices(), options.lambda, options.c),
+      g,
+      with_overflow_policy(
+          theorem3_schedule(g.num_vertices(), options.lambda, options.c),
+          options.overflow_policy, options.max_retries_per_phase),
       options.seed, engine_options);
 }
 

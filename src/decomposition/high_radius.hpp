@@ -26,6 +26,9 @@ struct HighRadiusOptions {
   double c = 4.0;
   std::uint64_t seed = 1;
   bool run_to_completion = true;
+  /// Lemma 1 recovery (see OverflowPolicy / ElkinNeimanOptions).
+  OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
+  std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
 };
 
 /// The derived radius parameter k = (cn)^{1/lambda} ln(cn).

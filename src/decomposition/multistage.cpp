@@ -54,7 +54,10 @@ DecompositionRun multistage_decomposition(const Graph& g,
                                           const MultistageOptions& options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   return run_schedule(
-      g, theorem2_schedule(g.num_vertices(), options.k, options.c),
+      g,
+      with_overflow_policy(
+          theorem2_schedule(g.num_vertices(), options.k, options.c),
+          options.overflow_policy, options.max_retries_per_phase),
       options.seed, options.run_to_completion);
 }
 

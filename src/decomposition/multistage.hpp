@@ -29,6 +29,9 @@ struct MultistageOptions {
   double c = 6.0;      // success probability 1 - 5/c
   std::uint64_t seed = 1;
   bool run_to_completion = true;
+  /// Lemma 1 recovery (see OverflowPolicy / ElkinNeimanOptions).
+  OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
+  std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
 };
 
 /// The per-phase beta schedule of Theorem 2 (one entry per phase).

@@ -100,8 +100,11 @@ struct FastDecompositionReport {
   std::int32_t num_colors = 0;
   std::int32_t disconnected_clusters = 0;
   bool all_clusters_connected = false;
-  /// Clusters whose recorded center is not one of their members (only
-  /// possible in truncated/overflow runs).
+  /// Clusters whose recorded center is not one of their members. Only
+  /// possible when truncated samples were accepted — i.e. under
+  /// OverflowPolicy::kTruncate or a blown retry budget (CarveResult::
+  /// radius_overflow); the default Las Vegas recarve loop replays
+  /// overflowed phases, so its runs never produce these.
   std::int32_t centerless_clusters = 0;
   /// Exact max over clusters of the center's eccentricity in G(C);
   /// kInfiniteDiameter if any cluster is disconnected or centerless.

@@ -405,6 +405,10 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
       total = static_cast<std::size_t>(graph_.num_vertices());
     }
     metrics_.vertex_activations += total;
+    // Serial pre-round hook: workers are parked (or not yet dispatched),
+    // so the protocol may fold per-worker accumulators and advance any
+    // shared round-plan state race-free.
+    protocol.on_round_begin(current_round_);
 
     const auto parity = static_cast<unsigned>(current_round_ & 1);
     if (workers_ == 1 || total < 2) {

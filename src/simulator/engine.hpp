@@ -219,6 +219,18 @@ class Protocol {
   /// summed when read) instead of sharing atomics across cores.
   virtual void begin_workers(unsigned workers) { (void)workers; }
 
+  /// Called once on the driving thread immediately before each round
+  /// that will execute (after the quiescence check, before any
+  /// on_round), so per-worker accumulators from the previous round may
+  /// be folded and shared round-plan state advanced without
+  /// synchronization — the hook for protocols whose global round
+  /// timetable depends on aggregated state (e.g. the carving protocol's
+  /// Las Vegas phase replay, which folds the overflow bit sampled last
+  /// round to decide whether the current attempt will be aborted).
+  /// Rounds it observes are consecutive; it is never called for a round
+  /// the engine skips (quiescence, finished()). Default: no-op.
+  virtual void on_round_begin(std::size_t round) { (void)round; }
+
   /// Called per round for each scheduled vertex with the messages
   /// delivered to it (sent by neighbors in the previous round).
   virtual void on_round(VertexId v, std::size_t round,

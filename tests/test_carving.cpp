@@ -195,8 +195,14 @@ TEST(Carve, ProducesCompletePartition) {
   EXPECT_TRUE(result.clustering.is_complete());
   EXPECT_EQ(result.carved_per_phase.size(),
             static_cast<std::size_t>(result.phases_used));
+  // Rounds = one phase length per executed phase plus one per Las Vegas
+  // recarve retry (phase_rounds + 1 = 5 here).
+  EXPECT_EQ(result.extra_rounds,
+            static_cast<std::int64_t>(result.retries) * 5);
   EXPECT_EQ(result.rounds,
-            static_cast<std::int64_t>(result.phases_used) * 5);
+            static_cast<std::int64_t>(result.phases_used) * 5 +
+                result.extra_rounds);
+  EXPECT_FALSE(result.radius_overflow);  // kRetry recovers every event
 }
 
 TEST(Carve, DeterministicInSeed) {

@@ -29,6 +29,10 @@ void expect_parity(const DecompositionRun& central,
   ASSERT_EQ(dist.run.carve.rounds, central.carve.rounds) << label;
   EXPECT_EQ(dist.run.carve.radius_overflow, central.carve.radius_overflow)
       << label;
+  // The Las Vegas recovery accounting is part of the parity contract.
+  EXPECT_EQ(dist.run.carve.retries, central.carve.retries) << label;
+  EXPECT_EQ(dist.run.carve.extra_rounds, central.carve.extra_rounds)
+      << label;
   EXPECT_EQ(dist.run.carve.carved_per_phase, central.carve.carved_per_phase)
       << label;
   const Clustering& a = central.clustering();
