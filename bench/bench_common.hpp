@@ -24,6 +24,7 @@
 #include "decomposition/validation.hpp"
 #include "graph/generators.hpp"
 #include "graph/relabel.hpp"
+#include "graph/validator.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -237,6 +238,11 @@ struct EngineCaseOptions {
   /// overflow smoke raises it so a lowered threshold can never fall
   /// back to accepting overflowed samples.
   std::int32_t max_retries_per_phase = 0;
+  /// Record the degree-distribution summary (min/mean/p90/p99/max,
+  /// isolated count, MLE power-law alpha) in the JSON record. The
+  /// scale-free sweeps set this so carve quality on heavy-tailed
+  /// graphs can be read next to how heavy the tail actually was.
+  bool degree_stats = false;
 };
 
 /// Shared engine-scaling measurement (bench_congest E8d and
@@ -330,6 +336,16 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
     record.field("validate_ms", validate_ms)
         .field("valid", valid_cell)
         .field("strong_diameter_upper", diameter_upper);
+  }
+  if (options.degree_stats) {
+    const DegreeStats degrees = dsnd::degree_stats(g);
+    record.field("deg_min", degrees.min_degree)
+        .field("deg_mean", degrees.mean_degree)
+        .field("deg_p90", degrees.p90_degree)
+        .field("deg_p99", degrees.p99_degree)
+        .field("deg_max", degrees.max_degree)
+        .field("deg_isolated", degrees.isolated_vertices)
+        .field("powerlaw_alpha", degrees.powerlaw_alpha);
   }
   return wall_ms;
 }

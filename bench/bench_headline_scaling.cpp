@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "decomposition/elkin_neiman.hpp"
+#include "graph/io.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -145,11 +146,12 @@ void threads_sweep(dsnd::bench::JsonWriter& json, bool with_ten_million) {
                               ? std::vector<VertexId>{1000000, 10000000}
                               : std::vector<VertexId>{1000000}) {
     // Seed 42 everywhere except n=10M, where it hits Lemma 1's
-    // radius-overflow event (max r = 18.78 >= k+1 = 18 at k = 17): the
-    // truncated broadcast leaves one cluster disconnected and the fast
-    // validator rightly reports INVALID. Seed 43 is clean; the overflow
-    // run is kept in BENCH_engine.json as the at-scale demonstration of
-    // the Lemma 1 failure mode and its detection.
+    // radius-overflow event (max r = 18.78 >= k+1 = 18 at k = 17).
+    // Before PR 5 that run truncated the broadcast and was rightly
+    // flagged INVALID (the historical pr4 record); the recarve loop now
+    // recovers it — `--recarve-10m` replays exactly that case and is
+    // where the resolved BENCH_engine.json row comes from. Seed 43 is
+    // kept here so the sweep's timings stay comparable across phases.
     const std::uint64_t carve_seed = n >= 10000000 ? 43 : 42;
     const unsigned gen_threads = 0;  // generator: hardware concurrency
     Timer construct;
@@ -205,6 +207,139 @@ void threads_sweep(dsnd::bench::JsonWriter& json, bool with_ten_million) {
   table.print(std::cout);
 }
 
+/// E4f — scale-free instances as engine workloads (`--scale-free`):
+/// threshold random hyperbolic graphs (power-law degrees, gamma = 2.8)
+/// and Graph500-style Kronecker graphs, carved by the Theorem 1
+/// schedule and batch-validated like every other row. The JSON records
+/// carry the degree-distribution summary (deg_* fields, powerlaw_alpha)
+/// so carve quality on heavy-tailed instances can be read next to how
+/// heavy the tail actually was. `--no-large` keeps only the 100k-class
+/// instances (the budgeted CI variant); the full run reaches n >= 1M.
+void scale_free(dsnd::bench::JsonWriter& json, unsigned threads,
+                bool no_large) {
+  bench::print_header(
+      "E4f / scale-free engine scaling (hyperbolic + Kronecker)",
+      "power-law instances from the chunk-parallel generators; hub "
+      "vertices stress the per-shard delivery paths that rgg/gnp rows "
+      "never do; every clustering checked by the O(n+m) batch validator");
+  Table table({"schedule", "family", "n", "m", "threads", "rounds",
+               "messages", "words", "activations", "wall_ms", "validate_ms",
+               "valid"});
+  const unsigned gen_threads = 0;  // generator: hardware concurrency
+  bench::EngineCaseOptions options{1, 0, /*validate=*/true};
+  options.threads = threads;
+  options.degree_stats = true;
+
+  for (const VertexId n : no_large
+                              ? std::vector<VertexId>{100000}
+                              : std::vector<VertexId>{100000, 1000000}) {
+    Timer construct;
+    const Graph h = make_hyperbolic(n, 8.0, 2.8, 1, gen_threads);
+    options.construct_ms = construct.elapsed_millis();
+    bench::engine_scaling_case("hyperbolic-deg8", h, table, json, options);
+  }
+  // Kronecker scale 17 -> n = 131072, scale 20 -> n = 1048576.
+  for (const int scale :
+       no_large ? std::vector<int>{17} : std::vector<int>{17, 20}) {
+    Timer construct;
+    const Graph k = make_kronecker(scale, 8, 1, gen_threads);
+    options.construct_ms = construct.elapsed_millis();
+    bench::engine_scaling_case("kronecker-ef8", k, table, json, options);
+  }
+  table.print(std::cout);
+}
+
+/// E4g — the external-graph path end to end (`--ingest-smoke`): for
+/// each scale-free family, generate -> write to disk (METIS for the
+/// hyperbolic instance, edge list for the Kronecker one) -> read back
+/// through the strict loaders -> require bit-identical CSR -> gate
+/// through the standalone validator -> run a small validated carve.
+/// The written files are left in the working directory so the CI job
+/// can additionally point tools/chkgraph at them; the JSON rows are
+/// INVALID-greppable like every other smoke. Returns nonzero when any
+/// round-trip or validator gate fails.
+int ingest_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
+  bench::print_header(
+      "E4g / ingestion + validator smoke",
+      "round-trips the scale-free families through the on-disk formats, "
+      "gates them through the standalone validator, then carves the "
+      "reloaded graphs");
+  Table table({"schedule", "family", "n", "m", "threads", "rounds",
+               "messages", "words", "activations", "wall_ms", "validate_ms",
+               "valid"});
+  bench::EngineCaseOptions options{1, 0, /*validate=*/true};
+  options.threads = threads;
+  options.degree_stats = true;
+  int failures = 0;
+
+  struct IngestCase {
+    std::string family;
+    Graph graph;
+    std::string path;
+  };
+  const IngestCase cases[] = {
+      {"hyperbolic-deg8", make_hyperbolic(20000, 8.0, 2.8, 5, 0),
+       "ingest_hyperbolic.graph"},
+      {"kronecker-ef8", make_kronecker(14, 8, 5, 0),
+       "ingest_kronecker.el"},
+  };
+  for (const IngestCase& c : cases) {
+    if (c.path.ends_with(".graph")) {
+      save_metis(c.path, c.graph);
+    } else {
+      save_edge_list(c.path, c.graph);
+    }
+    const Graph loaded = load_graph(c.path);
+    if (loaded != c.graph) {
+      std::cout << c.path << ": ROUND-TRIP MISMATCH (INVALID)\n";
+      ++failures;
+      continue;
+    }
+    const GraphCheckReport report = check_graph(loaded);
+    std::cout << c.path << " (round-trip ok): " << format_report(report);
+    if (!report.ok()) {
+      ++failures;
+      continue;
+    }
+    bench::engine_scaling_case(c.family, loaded, table, json, options);
+  }
+  table.print(std::cout);
+  return failures;
+}
+
+/// E4h — closing the pr4 ledger (`--recarve-10m`): re-runs the rgg
+/// n = 10M, carve-seed-42, grid-bucket case whose Lemma 1 radius
+/// overflow produced the one INVALID record in BENCH_engine.json's pr4
+/// phase. Under the PR 5 Las Vegas recarve loop the identical case must
+/// now come back valid with a nonzero retries field; the emitted record
+/// is the resolved row the pr6 phase stores next to the historical one.
+void recarve_ten_million(dsnd::bench::JsonWriter& json) {
+  bench::print_header(
+      "E4h / 10M seed-42 recarve",
+      "the pr4 radius-overflow case, replayed under the default retry "
+      "policy: expect valid output and retries > 0");
+  Table table({"schedule", "family", "n", "m", "threads", "rounds",
+               "messages", "words", "activations", "wall_ms", "validate_ms",
+               "valid"});
+  const VertexId n = 10000000;
+  Timer construct;
+  const GeometricGraph rgg = make_rgg_geometric(n, rgg_radius(n), 1, 0);
+  const double rgg_ms = construct.elapsed_millis();
+  const LayoutGraph layout = make_layout_graph(
+      rgg.graph,
+      grid_bucket_layout(rgg.x, rgg.y,
+                         static_cast<std::int32_t>(std::max(
+                             1.0, std::floor(1.0 / rgg_radius(n))))));
+  bench::EngineCaseOptions options{1, 0, /*validate=*/true};
+  options.threads = 1;
+  options.construct_ms = rgg_ms;
+  options.seed = 42;
+  options.layout = &layout;
+  options.layout_name = "grid-bucket";
+  bench::engine_scaling_case("rgg-deg8", rgg.graph, table, json, options);
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +360,17 @@ int main(int argc, char** argv) {
     threads_sweep(json,
                   /*with_ten_million=*/!bench::has_flag(argc, argv,
                                                         "--no-large"));
+    return 0;
+  }
+  if (bench::has_flag(argc, argv, "--scale-free")) {
+    scale_free(json, threads, bench::has_flag(argc, argv, "--no-large"));
+    return 0;
+  }
+  if (bench::has_flag(argc, argv, "--ingest-smoke")) {
+    return ingest_smoke(json, threads);
+  }
+  if (bench::has_flag(argc, argv, "--recarve-10m")) {
+    recarve_ten_million(json);
     return 0;
   }
   bench::print_header(

@@ -59,7 +59,13 @@ int main() {
   bench::RetryStats stats;
   Table table({"family", "n", "k", "algo", "weak_max", "strong_max",
                "disc_clusters", "colors", "rounds"});
-  for (const std::string& family : bench::default_families()) {
+  // The default sweep plus the scale-free families: heavy-tailed
+  // instances are where LS93's disconnected clusters concentrate around
+  // hubs, so the EN-vs-LS contrast is starkest there.
+  std::vector<std::string> families = bench::default_families();
+  families.emplace_back("hyperbolic");
+  families.emplace_back("kronecker");
+  for (const std::string& family : families) {
     for (const VertexId n : {256, 1024}) {
       for (const std::int32_t k : {3, 4, 6}) {
         SideStats en, ls;

@@ -18,6 +18,10 @@ namespace {
 // the derivation, not just in the draw order).
 constexpr std::uint64_t kGnpRowTag = 0x676e7001ULL;   // per-row streams
 constexpr std::uint64_t kRggPointTag = 0x52474702ULL;  // per-point streams
+constexpr std::uint64_t kHypPointTag = 0x48595003ULL;  // per-point streams
+constexpr std::uint64_t kKronEdgeTag = 0x4b524f04ULL;  // per-sample streams
+
+constexpr double kPi = 3.14159265358979323846;
 
 unsigned resolve_threads(unsigned threads, std::size_t items) {
   if (threads == 0) {
@@ -585,6 +589,286 @@ Graph make_rgg(VertexId n, double radius, std::uint64_t seed,
 
 namespace {
 
+/// Largest angular separation at which a point at radius r can reach any
+/// point at radius >= band_lo within hyperbolic distance R. The
+/// threshold angle shrinks as either radius grows, so evaluating it at a
+/// band's inner radius gives a window that covers the whole band.
+double band_max_angle(double cosh_r, double sinh_r, double band_lo,
+                      double cosh_disk) {
+  if (band_lo <= 0.0 || sinh_r == 0.0) return kPi;  // center reaches all
+  const double rhs = (cosh_r * std::cosh(band_lo) - cosh_disk) /
+                     (sinh_r * std::sinh(band_lo));
+  if (rhs <= -1.0) return kPi;
+  if (rhs >= 1.0) return 0.0;
+  return std::acos(rhs);
+}
+
+}  // namespace
+
+HyperbolicGraph make_hyperbolic_geometric(VertexId n, double avg_degree,
+                                          double gamma, std::uint64_t seed,
+                                          unsigned threads) {
+  DSND_REQUIRE(n >= 2, "hyperbolic graph needs at least two vertices");
+  DSND_REQUIRE(gamma > 2.0, "power-law exponent must exceed 2");
+  DSND_REQUIRE(avg_degree > 0.0, "target average degree must be positive");
+  const double alpha = (gamma - 1.0) / 2.0;
+  // Disk radius from the Gugelmann–Panagiotou–Peter asymptotics:
+  // n = nu * e^{R/2} with mean degree -> 2 alpha^2 nu / (pi (alpha-1/2)^2).
+  const double nu = avg_degree * kPi * (alpha - 0.5) * (alpha - 0.5) /
+                    (2.0 * alpha * alpha);
+  const double disk = 2.0 * std::log(static_cast<double>(n) / nu);
+  DSND_REQUIRE(disk > 0.0,
+               "n too small for the requested average degree / exponent");
+
+  const auto count = static_cast<std::size_t>(n);
+  const unsigned workers = resolve_threads(threads, count);
+
+  // Coordinates: point i's stream draws r (inverse-CDF of the
+  // sinh(alpha r) density) before theta. cosh/sinh are precomputed once
+  // per point — the distance test needs them for every candidate pair.
+  HyperbolicGraph result;
+  result.disk_radius = disk;
+  result.radius.resize(count);
+  result.angle.resize(count);
+  std::vector<double> cosh_r(count);
+  std::vector<double> sinh_r(count);
+  const double cosh_alpha_disk = std::cosh(alpha * disk);
+  parallel_chunks(count, workers,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      Xoshiro256ss rng(stream_seed(
+                          seed, kHypPointTag,
+                          static_cast<std::uint64_t>(i)));
+                      const double u1 = uniform_unit(rng);
+                      const double r =
+                          std::acosh(1.0 + u1 * (cosh_alpha_disk - 1.0)) /
+                          alpha;
+                      result.radius[i] = r;
+                      result.angle[i] = 2.0 * kPi * uniform_unit(rng);
+                      cosh_r[i] = std::cosh(r);
+                      sinh_r[i] = std::sinh(r);
+                    }
+                  });
+
+  // Annulus bucketing: unit-width radial bands, each sorted by angle, so
+  // a point's candidates in a band are one (or two, with wraparound)
+  // binary-searched angular slices. Deep bands hold exponentially few
+  // points, so the conservative per-band windows stay near-linear.
+  const auto bands = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(disk)));
+  auto band_of = [bands](double r) {
+    return std::min(bands - 1, static_cast<std::size_t>(
+                                   std::max(0.0, std::floor(r))));
+  };
+  std::vector<std::size_t> band_start(bands + 1, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++band_start[band_of(result.radius[i]) + 1];
+  }
+  for (std::size_t b = 0; b < bands; ++b) band_start[b + 1] += band_start[b];
+  // (angle, vertex) pairs, sorted within each band; the vertex tiebreak
+  // makes the order — and thus the scan — independent of the fill order.
+  std::vector<std::pair<double, VertexId>> members(count);
+  {
+    std::vector<std::size_t> fill(band_start.begin(), band_start.end() - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      members[fill[band_of(result.radius[i])]++] = {result.angle[i],
+                                                    static_cast<VertexId>(i)};
+    }
+  }
+  parallel_chunks(bands, workers,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t b = begin; b < end; ++b) {
+                      std::sort(members.begin() +
+                                    static_cast<std::ptrdiff_t>(band_start[b]),
+                                members.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        band_start[b + 1]));
+                    }
+                  });
+
+  // Edge scan in point chunks: point i emits exactly the pairs (i, j)
+  // with j > i, so the union over chunks never depends on the chunking.
+  const double cosh_disk = std::cosh(disk);
+  std::vector<std::vector<Edge>> chunk_edges(workers);
+  parallel_chunks(count, workers,
+                  [&](unsigned worker, std::size_t begin, std::size_t end) {
+    std::vector<Edge>& edges = chunk_edges[worker];
+    for (std::size_t i = begin; i < end; ++i) {
+      const double theta = result.angle[i];
+      for (std::size_t b = 0; b < bands; ++b) {
+        const double window = band_max_angle(
+            cosh_r[i], sinh_r[i], static_cast<double>(b), cosh_disk);
+        const auto lo = members.begin() +
+                        static_cast<std::ptrdiff_t>(band_start[b]);
+        const auto hi = members.begin() +
+                        static_cast<std::ptrdiff_t>(band_start[b + 1]);
+        auto scan = [&](double from, double to) {
+          auto it = std::lower_bound(
+              lo, hi, std::pair<double, VertexId>{from, -1});
+          for (; it != hi && it->first <= to; ++it) {
+            const auto j = static_cast<std::size_t>(it->second);
+            if (j <= i) continue;  // each pair once
+            const double cosh_d =
+                cosh_r[i] * cosh_r[j] -
+                sinh_r[i] * sinh_r[j] * std::cos(theta - it->first);
+            if (cosh_d <= cosh_disk) {
+              edges.push_back(Edge{static_cast<VertexId>(i),
+                                   static_cast<VertexId>(j)});
+            }
+          }
+        };
+        if (window >= kPi) {
+          scan(0.0, 2.0 * kPi);
+        } else {
+          const double from = theta - window;
+          const double to = theta + window;
+          if (from < 0.0) {
+            scan(from + 2.0 * kPi, 2.0 * kPi);
+            scan(0.0, to);
+          } else if (to >= 2.0 * kPi) {
+            scan(from, 2.0 * kPi);
+            scan(0.0, to - 2.0 * kPi);
+          } else {
+            scan(from, to);
+          }
+        }
+      }
+    }
+  });
+
+  // Band-scan order is not row order, so the assembly sorts each row.
+  result.graph =
+      csr_from_chunk_edges(count, chunk_edges, /*sort_rows=*/true, workers);
+  return result;
+}
+
+Graph make_hyperbolic(VertexId n, double avg_degree, double gamma,
+                      std::uint64_t seed, unsigned threads) {
+  return make_hyperbolic_geometric(n, avg_degree, gamma, seed, threads).graph;
+}
+
+Graph make_kronecker(int scale, std::int64_t edge_factor,
+                     std::uint64_t seed, unsigned threads) {
+  DSND_REQUIRE(scale >= 1 && scale <= 30, "kronecker scale out of range");
+  DSND_REQUIRE(edge_factor >= 1, "edge factor must be positive");
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  const auto count = static_cast<std::size_t>(n);
+  const auto samples =
+      static_cast<std::size_t>(edge_factor) * count;
+  const unsigned workers = resolve_threads(threads, samples);
+
+  // Graph500 initiator probabilities (A, B, C; D is the remainder).
+  constexpr double kA = 0.57;
+  constexpr double kB = 0.19;
+  constexpr double kC = 0.19;
+
+  // Sample pass: directed sample e recursively picks one of the four
+  // quadrants per bit level from its own stream, top bit first. Samples
+  // are canonicalized to u < v; self-loops are dropped here, duplicate
+  // samples survive until the dedup pass below.
+  std::vector<std::vector<Edge>> chunk_edges(workers);
+  parallel_chunks(samples, workers,
+                  [&](unsigned worker, std::size_t begin, std::size_t end) {
+    std::vector<Edge>& edges = chunk_edges[worker];
+    for (std::size_t e = begin; e < end; ++e) {
+      Xoshiro256ss rng(stream_seed(seed, kKronEdgeTag,
+                                   static_cast<std::uint64_t>(e)));
+      VertexId u = 0;
+      VertexId v = 0;
+      for (int bit = 0; bit < scale; ++bit) {
+        const double x = uniform_unit(rng);
+        u = static_cast<VertexId>(u << 1);
+        v = static_cast<VertexId>(v << 1);
+        if (x < kA) {
+          // top-left: both bits 0
+        } else if (x < kA + kB) {
+          v = static_cast<VertexId>(v | 1);
+        } else if (x < kA + kB + kC) {
+          u = static_cast<VertexId>(u | 1);
+        } else {
+          u = static_cast<VertexId>(u | 1);
+          v = static_cast<VertexId>(v | 1);
+        }
+      }
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      edges.push_back(Edge{u, v});
+    }
+  });
+
+  // Deterministic dedup: counting-scatter the canonical samples into
+  // per-u rows (walking chunks in order), then sort + unique each row —
+  // O(samples + m log deg) and independent of the chunking.
+  std::vector<std::int64_t> half_start(count + 1, 0);
+  for (const auto& edges : chunk_edges) {
+    for (const Edge& e : edges) {
+      ++half_start[static_cast<std::size_t>(e.u) + 1];
+    }
+  }
+  for (std::size_t u = 0; u < count; ++u) half_start[u + 1] += half_start[u];
+  std::vector<VertexId> half_adj(
+      static_cast<std::size_t>(half_start[count]));
+  {
+    std::vector<std::int64_t> fill(half_start.begin(), half_start.end() - 1);
+    for (const auto& edges : chunk_edges) {
+      for (const Edge& e : edges) {
+        half_adj[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(e.u)]++)] = e.v;
+      }
+    }
+  }
+  std::vector<std::int64_t> half_len(count, 0);
+  parallel_chunks(count, workers,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t u = begin; u < end; ++u) {
+                      const auto row_begin =
+                          half_adj.begin() +
+                          static_cast<std::ptrdiff_t>(half_start[u]);
+                      const auto row_end =
+                          half_adj.begin() +
+                          static_cast<std::ptrdiff_t>(half_start[u + 1]);
+                      std::sort(row_begin, row_end);
+                      half_len[u] = std::unique(row_begin, row_end) -
+                                    row_begin;
+                    }
+                  });
+
+  // Final symmetric CSR from the distinct canonical edges, scattered in
+  // row-major order: row u receives lower neighbors (from earlier rows,
+  // increasing) before its own upper neighbors (increasing), so every
+  // row comes out sorted without a second sort.
+  std::vector<std::int64_t> offsets(count + 1, 0);
+  for (std::size_t u = 0; u < count; ++u) {
+    offsets[u + 1] += half_len[u];
+    for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
+         ++i) {
+      ++offsets[static_cast<std::size_t>(
+                    half_adj[static_cast<std::size_t>(i)]) +
+                1];
+    }
+  }
+  for (std::size_t u = 0; u < count; ++u) offsets[u + 1] += offsets[u];
+  std::vector<VertexId> adjacency(
+      static_cast<std::size_t>(offsets[count]));
+  {
+    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t u = 0; u < count; ++u) {
+      for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
+           ++i) {
+        const VertexId v = half_adj[static_cast<std::size_t>(i)];
+        adjacency[static_cast<std::size_t>(
+            cursor[u]++)] = v;
+        adjacency[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(v)]++)] =
+            static_cast<VertexId>(u);
+      }
+    }
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+namespace {
+
 VertexId isqrt(VertexId n) {
   auto r = static_cast<VertexId>(std::sqrt(static_cast<double>(n)));
   while ((r + 1) * (r + 1) <= n) ++r;
@@ -652,6 +936,21 @@ const std::vector<GraphFamily>& families_impl() {
              std::sqrt(8.0 / (3.14159265358979323846 *
                               static_cast<double>(std::max<VertexId>(n, 2))));
          return make_rgg(n, std::min(1.0, radius), seed);
+       }},
+      {"hyperbolic",
+       [](VertexId n, std::uint64_t seed) {
+         // Power-law exponent 2.8, target average degree ~8.
+         return make_hyperbolic(std::max<VertexId>(n, 64), 8.0, 2.8, seed);
+       }},
+      {"kronecker",
+       [](VertexId n, std::uint64_t seed) {
+         // n rounded down to a power of two, edge factor 8.
+         int scale = 1;
+         while ((static_cast<VertexId>(1) << (scale + 1)) <=
+                std::max<VertexId>(n, 2)) {
+           ++scale;
+         }
+         return make_kronecker(scale, 8, seed);
        }},
   };
   return kFamilies;

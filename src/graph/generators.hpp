@@ -121,6 +121,56 @@ GeometricGraph make_rgg_geometric(VertexId n, double radius,
 Graph make_rgg(VertexId n, double radius, std::uint64_t seed,
                unsigned threads = 1);
 
+// --- Scale-free families --------------------------------------------------
+//
+// Both generators below follow the chunk-parallel stream-split contract:
+// every unit of work (a hyperbolic point, a Kronecker edge sample) draws
+// from its own stream_seed-derived generator and the CSR is assembled via
+// Graph::from_csr, so the output is bit-identical for every thread/chunk
+// count (pinned by tests/test_scale_free.cpp).
+
+/// A graph whose vertices carry native hyperbolic-disk coordinates —
+/// the scale-free analogue of GeometricGraph.
+struct HyperbolicGraph {
+  Graph graph;
+  std::vector<double> radius;  // radial coordinate in [0, disk_radius]
+  std::vector<double> angle;   // angular coordinate in [0, 2*pi)
+  double disk_radius = 0.0;    // R, the disk (= connection) radius
+};
+
+/// Random hyperbolic graph (threshold model, Krioukov et al.): n points
+/// in a hyperbolic disk of radius R, radial density ~ sinh(alpha*r) with
+/// alpha = (gamma - 1) / 2, uniform angles; an edge whenever the
+/// hyperbolic distance is <= R. Degrees follow a power law with exponent
+/// `gamma` (> 2) and expected average degree ~ avg_degree (the disk
+/// radius is chosen from the Gugelmann–Panagiotou–Peter asymptotics, so
+/// the realized mean drifts for small n). KaGen-style annulus bucketing:
+/// points are bucketed into unit-width radial bands sorted by angle, and
+/// each point scans only the angular window of each band that can
+/// possibly reach it — near-linear expected work instead of the naive
+/// O(n^2) pair scan. Point i's coordinates come from its own stream
+/// (r drawn before theta), so generation is chunk-count invariant.
+HyperbolicGraph make_hyperbolic_geometric(VertexId n, double avg_degree,
+                                          double gamma, std::uint64_t seed,
+                                          unsigned threads = 1);
+
+/// make_hyperbolic_geometric without the coordinates.
+Graph make_hyperbolic(VertexId n, double avg_degree, double gamma,
+                      std::uint64_t seed, unsigned threads = 1);
+
+/// Stochastic Kronecker graph in the Graph500 parameterization (R-MAT
+/// with initiator [[0.57, 0.19], [0.19, 0.05]]): n = 2^scale vertices,
+/// edge_factor * n directed edge samples, each placed by `scale`
+/// independent quadrant draws. Sample e draws from its own stream, so
+/// generation is chunk-count invariant. Self-loops are dropped and
+/// parallel samples merged deterministically (the usual Graph500
+/// simplification), so the simple-edge count comes out slightly below
+/// edge_factor * n. Vertex ids are the natural bit-strings (hubs at low
+/// ids) — no Graph500 vertex shuffle, which keeps runs reproducible and
+/// lets benches relabel explicitly if they want to defeat id locality.
+Graph make_kronecker(int scale, std::int64_t edge_factor,
+                     std::uint64_t seed, unsigned threads = 1);
+
 // --- Named registry --------------------------------------------------------
 
 /// A named generator producing a graph of roughly n vertices; used by the
@@ -132,7 +182,7 @@ struct GraphFamily {
 
 /// The standard sweep: path, cycle, grid, tree, random tree, gnp-sparse,
 /// gnp-dense, random-regular, hypercube, ring-of-cliques, small-world,
-/// rgg.
+/// rgg, hyperbolic, kronecker.
 const std::vector<GraphFamily>& standard_families();
 
 /// Look up a family by name; throws std::invalid_argument if unknown.

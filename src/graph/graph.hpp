@@ -73,6 +73,12 @@ class Graph {
   /// All edges in canonical order (u < v), sorted lexicographically.
   std::vector<Edge> edges() const;
 
+  /// The raw CSR arrays (offsets size n+1, adjacency size 2m). Read-only
+  /// views for serialization and the standalone graph validator; the
+  /// class invariants guarantee they are well-formed.
+  std::span<const std::int64_t> csr_offsets() const { return offsets_; }
+  std::span<const VertexId> csr_adjacency() const { return adjacency_; }
+
   /// Invokes fn(u, v) once per edge with u < v.
   template <typename Fn>
   void for_each_edge(Fn&& fn) const {

@@ -1,0 +1,89 @@
+// Standalone graph validator (chkgraph-style): checks a CSR — or a
+// built Graph — against the library's structural contract (well-formed
+// offsets, in-range sorted duplicate-free rows, no self-loops, symmetric
+// adjacency) and summarizes the degree distribution. Unlike the checks
+// inside Graph::from_csr, which throw on the first violation, the
+// validator collects every distinct problem with a named kind and a
+// human-readable location, which is what makes it usable as an
+// ingestion gate for external graph files (tools/chkgraph.cpp is the
+// CLI wrapper) and as a test oracle for seeded corruptions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+enum class GraphIssueKind {
+  kBadOffsets,     // offsets empty / non-monotone / wrong terminator
+  kOutOfRange,     // adjacency entry outside [0, n)
+  kSelfLoop,       // v in its own row
+  kUnsortedRow,    // row not strictly increasing (ordering violation)
+  kDuplicateEdge,  // equal consecutive entries in a row
+  kAsymmetric,     // v in row u without u in row v
+};
+
+/// Stable lowercase name ("self-loop", "asymmetric", ...) used in
+/// reports and grepped by the CI ingestion smoke.
+const char* to_string(GraphIssueKind kind);
+
+struct GraphIssue {
+  GraphIssueKind kind;
+  std::string message;  // names the offending vertex / row / offset
+};
+
+/// Degree-distribution summary — the stats the scale-free benches record
+/// next to carve quality so power-law regimes are visible in the data.
+struct DegreeStats {
+  VertexId min_degree = 0;
+  VertexId max_degree = 0;
+  double mean_degree = 0.0;
+  VertexId p90_degree = 0;  // 90th / 99th degree percentiles
+  VertexId p99_degree = 0;
+  std::int64_t isolated_vertices = 0;
+  /// histogram[0] counts degree 0; histogram[b >= 1] counts degrees in
+  /// [2^(b-1), 2^b) — log-binned, so power-law tails read as a straight
+  /// line of slowly decaying bucket counts.
+  std::vector<std::int64_t> histogram;
+  /// Continuous MLE power-law exponent alpha fitted to degrees >= 4
+  /// (alpha = 1 + k / sum ln(d / 3.5)); 0 when fewer than 16 vertices
+  /// qualify. For a true power law with exponent gamma this estimates
+  /// gamma; for gnp-style light tails it comes out implausibly large.
+  double powerlaw_alpha = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+struct GraphCheckReport {
+  VertexId num_vertices = 0;
+  std::int64_t num_directed_entries = 0;
+  /// Distinct problems found, capped at the check's max_issues (the
+  /// total_issues counter keeps counting past the cap).
+  std::vector<GraphIssue> issues;
+  std::int64_t total_issues = 0;
+  DegreeStats degrees;  // meaningful only when the offsets are usable
+
+  bool ok() const { return total_issues == 0; }
+  bool has(GraphIssueKind kind) const;
+};
+
+/// Validates raw CSR arrays. Never throws on malformed input — that is
+/// the point: corrupted offsets/adjacency come back as named issues.
+GraphCheckReport check_csr(std::span<const std::int64_t> offsets,
+                           std::span<const VertexId> adjacency,
+                           int max_issues = 32);
+
+/// check_csr over a built Graph (the class invariants make structural
+/// issues impossible, so this mostly contributes the degree summary and
+/// a defense-in-depth symmetry pass).
+GraphCheckReport check_graph(const Graph& g, int max_issues = 32);
+
+/// Multi-line human-readable rendering: verdict, issue list, degree
+/// summary. What tools/chkgraph prints.
+std::string format_report(const GraphCheckReport& report);
+
+}  // namespace dsnd

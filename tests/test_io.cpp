@@ -77,5 +77,111 @@ TEST(Io, LoadMissingFileThrows) {
                std::runtime_error);
 }
 
+/// Expects `reader` to throw and the message to contain `needle` — the
+/// diagnostics contract: every rejection names the offending location.
+template <typename Fn>
+void expect_rejection(Fn&& reader, const std::string& needle) {
+  try {
+    reader();
+    FAIL() << "expected a rejection mentioning \"" << needle << "\"";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "message was: " << error.what();
+  }
+}
+
+TEST(Io, MetisRoundTrip) {
+  const Graph g = make_grid2d(5, 4);
+  std::stringstream buffer;
+  write_metis(buffer, g);
+  const Graph back = read_metis(buffer);
+  EXPECT_EQ(g, back);
+}
+
+TEST(Io, MetisSkipsComments) {
+  std::stringstream buffer("% header comment\n3 2\n2 3\n1\n1\n");
+  const Graph g = read_metis(buffer);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Io, MetisRejectsTruncatedRows) {
+  std::stringstream buffer("3 2\n2 3\n1\n");  // row for vertex 3 missing
+  expect_rejection([&] { read_metis(buffer); }, "truncated");
+}
+
+TEST(Io, MetisRejectsOutOfRangeNeighbor) {
+  std::stringstream buffer("3 2\n2 9\n1\n\n");
+  expect_rejection([&] { read_metis(buffer); }, "out of range");
+}
+
+TEST(Io, MetisRejectsAsymmetricRows) {
+  // Vertex 1 lists 2 but vertex 2's row lists 3 instead of 1: the
+  // dropped reverse edge must be called out by name.
+  std::stringstream buffer("3 1\n2\n3\n\n");
+  expect_rejection([&] { read_metis(buffer); }, "not vice versa");
+}
+
+TEST(Io, MetisRejectsSelfLoopAndDuplicate) {
+  std::stringstream self_loop("2 1\n1 2\n1\n");
+  expect_rejection([&] { read_metis(self_loop); }, "self-loop");
+  std::stringstream duplicate("2 2\n2 2\n1 1\n");
+  expect_rejection([&] { read_metis(duplicate); }, "duplicate");
+}
+
+TEST(Io, MetisRejectsWeightedHeaders) {
+  std::stringstream buffer("2 1 011\n2\n1\n");
+  expect_rejection([&] { read_metis(buffer); }, "header flags");
+}
+
+TEST(Io, EdgeListRejectsOutOfRangeEndpointWithEdgeIndex) {
+  std::stringstream buffer("3 2\n0 1\n1 7\n");
+  expect_rejection([&] { read_edge_list(buffer); }, "edge 2 of 2");
+}
+
+TEST(Io, EdgeListRejectsSelfLoop) {
+  std::stringstream buffer("3 1\n2 2\n");
+  expect_rejection([&] { read_edge_list(buffer); }, "self-loop");
+}
+
+TEST(Io, EdgeListRejectsNegativeHeader) {
+  std::stringstream negative_n("-3 1\n0 1\n");
+  EXPECT_THROW(read_edge_list(negative_n), std::runtime_error);
+  std::stringstream negative_m("3 -1\n");
+  EXPECT_THROW(read_edge_list(negative_m), std::runtime_error);
+}
+
+TEST(Io, AllGeneratorFamiliesRoundTripThroughBothFormats) {
+  // Every registered family — including the scale-free ones — must
+  // survive write -> read bit-identically in both on-disk formats.
+  for (const GraphFamily& family : standard_families()) {
+    const Graph g = family.make(200, 11);
+    {
+      std::stringstream buffer;
+      write_edge_list(buffer, g);
+      EXPECT_EQ(read_edge_list(buffer), g) << family.name << " edge list";
+    }
+    {
+      std::stringstream buffer;
+      write_metis(buffer, g);
+      EXPECT_EQ(read_metis(buffer), g) << family.name << " metis";
+    }
+  }
+}
+
+TEST(Io, LoadGraphDispatchesOnExtension) {
+  const Graph g = make_hyperbolic(300, 8.0, 2.8, 3);
+  const std::string metis_path = testing::TempDir() + "dsnd_io_test.graph";
+  const std::string edge_path = testing::TempDir() + "dsnd_io_test.el";
+  save_metis(metis_path, g);
+  save_edge_list(edge_path, g);
+  EXPECT_EQ(load_graph(metis_path), g);
+  EXPECT_EQ(load_graph(edge_path), g);
+  std::remove(metis_path.c_str());
+  std::remove(edge_path.c_str());
+}
+
 }  // namespace
 }  // namespace dsnd
