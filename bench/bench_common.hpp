@@ -14,6 +14,7 @@
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -25,6 +26,7 @@
 #include "graph/generators.hpp"
 #include "graph/relabel.hpp"
 #include "graph/validator.hpp"
+#include "simulator/transport.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -243,6 +245,29 @@ struct EngineCaseOptions {
   /// scale-free sweeps set this so carve quality on heavy-tailed
   /// graphs can be read next to how heavy the tail actually was.
   bool degree_stats = false;
+  /// When set, run the case through a FaultyTransport driven by this
+  /// plan. The row then also reports the carve status, the whole-run
+  /// retries the verify-and-recover loop spent, and the aggregated
+  /// fault counters. The valid column distinguishes a NAMED failure
+  /// (status string, counters nonzero) from a true contract violation
+  /// ("INVALID": the run claimed ok but external validation failed) —
+  /// only the latter is CI-grep bait.
+  const FaultPlan* faults = nullptr;
+  /// Engine round budget override (EngineOptions::max_rounds); 0 keeps
+  /// the schedule-derived default.
+  std::size_t max_rounds = 0;
+  /// When non-null, filled with the row's outcome so sweep drivers can
+  /// aggregate validity rates without re-validating.
+  struct EngineCaseOutcome* outcome = nullptr;
+};
+
+/// What one engine_scaling_case actually did — the valid-column string
+/// plus the chaos accounting, for drivers that summarize across rows.
+struct EngineCaseOutcome {
+  std::string valid;
+  CarveStatus status = CarveStatus::kOk;
+  std::int32_t run_retries = 0;
+  FaultCounters faults;
 };
 
 /// Shared engine-scaling measurement (bench_congest E8d and
@@ -270,6 +295,12 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
   }
   EngineOptions engine;
   engine.threads = options.threads;
+  engine.max_rounds = options.max_rounds;
+  std::optional<FaultyTransport> chaos;
+  if (options.faults) {
+    chaos.emplace(*options.faults);
+    engine.transport = &*chaos;
+  }
   Timer timer;
   const DistributedRun run =
       options.layout
@@ -288,7 +319,14 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
     validate_ms = validate_timer.elapsed_millis();
     const bool valid = report.complete && report.proper_phase_coloring &&
                        report.all_clusters_connected;
-    valid_cell = valid ? "ok" : "INVALID";
+    if (run.run.carve.status != CarveStatus::kOk) {
+      // A named failure is the chaos contract holding, not a violation:
+      // report the status string so the row reads as flagged, and keep
+      // "INVALID" reserved for the silent case below.
+      valid_cell = carve_status_name(run.run.carve.status);
+    } else {
+      valid_cell = valid ? "ok" : "INVALID";
+    }
     diameter_upper = report.strong_diameter_upper;
   }
 
@@ -336,6 +374,22 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
     record.field("validate_ms", validate_ms)
         .field("valid", valid_cell)
         .field("strong_diameter_upper", diameter_upper);
+  }
+  if (options.faults) {
+    const FaultCounters& faults = run.run.carve.faults;
+    record.field("status", carve_status_name(run.run.carve.status))
+        .field("run_retries", run.run.carve.run_retries)
+        .field("dropped", faults.dropped)
+        .field("delayed", faults.delayed)
+        .field("duplicated", faults.duplicated)
+        .field("crashed", faults.crashed)
+        .field("drop_rate", options.faults->drop_rate);
+  }
+  if (options.outcome) {
+    options.outcome->valid = valid_cell;
+    options.outcome->status = run.run.carve.status;
+    options.outcome->run_retries = run.run.carve.run_retries;
+    options.outcome->faults = run.run.carve.faults;
   }
   if (options.degree_stats) {
     const DegreeStats degrees = dsnd::degree_stats(g);

@@ -75,6 +75,12 @@ struct CarveSchedule {
   OverflowPolicy overflow_policy = OverflowPolicy::kRetry;
   /// Resample budget per phase under kRetry.
   std::int32_t max_retries_per_phase = kDefaultMaxRetriesPerPhase;
+  /// Whole-run restart budget for run_schedule_distributed's
+  /// verify-and-recover loop under a LOSSY transport: an attempt whose
+  /// output fails validation (or ends in a named engine failure) is
+  /// retried with a run-salted seed up to this many times. Irrelevant —
+  /// and never consulted — on reliable transports.
+  std::int32_t max_run_retries = 4;
   /// Effective radius parameter (integer k for Theorems 1-2; the derived
   /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
   double k = 0.0;

@@ -9,6 +9,19 @@
 
 namespace dsnd {
 
+const char* carve_status_name(CarveStatus status) {
+  // Failure names deliberately avoid the substring "INVALID": that
+  // string is reserved for true contract violations (a run claiming kOk
+  // whose clustering fails external validation), which CI greps for.
+  switch (status) {
+    case CarveStatus::kOk: return "ok";
+    case CarveStatus::kRoundBudgetExhausted: return "round-budget";
+    case CarveStatus::kStalled: return "stalled";
+    case CarveStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
 bool CarveEntry::beats(const CarveEntry& other) const {
   if (!valid()) return false;
   if (!other.valid()) return true;

@@ -25,8 +25,34 @@
 
 #include "decomposition/partition.hpp"
 #include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
 
 namespace dsnd {
+
+/// How a carving run ended. Everything but kOk is a NAMED failure: under
+/// a lossy transport the contract is "a validated decomposition or a
+/// named status, never a silently wrong answer" (the PR 5 Las Vegas
+/// stance, generalized from radius overflow to transport faults).
+/// Reliable runs always report kOk — anything else throws instead, as a
+/// reliable run cannot legitimately fail.
+enum class CarveStatus {
+  /// The run exhausted the graph; on a faulted run the clustering also
+  /// passed validate_decomposition_fast.
+  kOk,
+  /// The engine's round budget ran out before the graph was exhausted
+  /// (the named replacement for a no-progress hang under loss).
+  kRoundBudgetExhausted,
+  /// The engine went quiescent with unclustered vertices left — faults
+  /// broke the protocol's wake chain (should not happen: self-wakes are
+  /// transport-immune; kept as a named outcome rather than an abort).
+  kStalled,
+  /// Every attempt that completed produced a clustering that failed
+  /// validation (or accepted a radius overflow), and the run-retry
+  /// budget is exhausted.
+  kRejected,
+};
+
+const char* carve_status_name(CarveStatus status);
 
 /// One (center, shifted value) candidate tracked during a phase.
 struct CarveEntry {
@@ -135,6 +161,18 @@ struct CarveResult {
   /// aggregating the overflow bit) so neighbors learn the surviving
   /// graph.
   std::int64_t rounds = 0;
+  /// How the run ended (see CarveStatus). Centralized runs and reliable
+  /// distributed runs always report kOk.
+  CarveStatus status = CarveStatus::kOk;
+  /// Whole-run restarts spent by the verify-and-recover loop of
+  /// run_schedule_distributed under a lossy transport (attempt i > 0
+  /// reseeds via stream_seed(seed, 1, i)). Always 0 on reliable runs;
+  /// distinct from `retries`, which counts PR 5's per-phase resamples
+  /// within one run.
+  std::int32_t run_retries = 0;
+  /// Transport fault events aggregated across every attempt of the run
+  /// (all zeros on a reliable transport).
+  FaultCounters faults;
 };
 
 /// Samples r_v for vertex v in phase t: EXP(beta) via the per-(seed,

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <vector>
 
+#include "decomposition/validation.hpp"
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
 #include "support/per_worker.hpp"
+#include "support/rng.hpp"
 
 namespace dsnd {
 
@@ -386,40 +388,141 @@ DistributedCarveResult carve_decomposition_distributed(
       (static_cast<std::size_t>(params.phase_rounds) + 1);
   DistributedCarveResult result;
   result.sim = engine.run(protocol, max_rounds);
-  DSND_CHECK(protocol.remaining() == 0,
-             "distributed carving failed to exhaust the graph");
-  result.carve = protocol.build_result();
+  if (protocol.remaining() != 0) {
+    // A reliable run cannot legitimately fall short — that is a bug in
+    // this library, so the internal-invariant check stays. Under a lossy
+    // transport it is an expected outcome (dropped traffic stalled the
+    // carve, or the round budget named the hang), reported as a status
+    // for the verify-and-recover loop to act on.
+    const bool lossy = engine_options.transport != nullptr &&
+                       engine_options.transport->lossy();
+    DSND_CHECK(lossy, "distributed carving failed to exhaust the graph");
+    result.carve = protocol.build_result();
+    result.carve.status = result.sim.status == RunStatus::kQuiescent
+                              ? CarveStatus::kStalled
+                              : CarveStatus::kRoundBudgetExhausted;
+  } else {
+    result.carve = protocol.build_result();
+  }
+  result.carve.faults = result.sim.faults;
   return result;
 }
+
+namespace {
+
+/// Shared driver behind both run_schedule_distributed overloads.
+/// `engine_graph` is what the protocol runs on (possibly relabeled);
+/// `original_graph` is what the emitted clustering is keyed to and what
+/// faulted attempts are validated against; `vertex_names` translates
+/// between the two (empty = identity).
+///
+/// Reliable transports take the single-attempt fast path unchanged.
+/// Lossy transports get the verify-and-recover loop: every attempt that
+/// claims success is checked with validate_decomposition_fast, rejected
+/// clusterings (and named engine failures) are retried with a run-salted
+/// seed — stream_seed(seed, 1, attempt), the a = 1 channel, disjoint
+/// from the a = 0 channel PR 5's per-phase resamples use — up to
+/// schedule.max_run_retries times. The result is the never-silently-
+/// invalid contract: kOk means externally validated, anything else is a
+/// named failure with its fault accounting attached.
+DistributedRun run_schedule_distributed_impl(
+    const Graph& engine_graph, const Graph& original_graph,
+    std::span<const VertexId> vertex_names, const CarveSchedule& schedule,
+    std::uint64_t seed, const EngineOptions& engine_options) {
+  EngineOptions options = engine_options;
+  const bool lossy =
+      options.transport != nullptr && options.transport->lossy();
+  if (options.max_rounds == 0) {
+    // Derive the named-failure round budget from what the schedule
+    // promises: the theorem's whp bound with a full per-phase retry
+    // budget, plus run-to-completion overtime slack (at worst one carved
+    // vertex per phase). Generous enough that no legitimate run ever
+    // hits it; a run that does gets RunStatus::kRoundBudgetExhausted
+    // instead of spinning.
+    const auto phase_len =
+        static_cast<std::size_t>(std::max(schedule.phase_rounds, 0)) + 1;
+    const auto attempts =
+        1 + static_cast<std::size_t>(
+                std::max(schedule.max_retries_per_phase, 0));
+    const double bound_rounds = schedule.bounds.rounds_with_retries(
+        static_cast<std::int64_t>(attempts * phase_len));
+    const std::size_t overtime =
+        (static_cast<std::size_t>(engine_graph.num_vertices()) +
+         schedule.betas.size() + 16) *
+        attempts * phase_len;
+    options.max_rounds =
+        static_cast<std::size_t>(8.0 * std::max(bound_rounds, 0.0)) +
+        overtime + 64;
+  }
+
+  const std::int32_t run_budget =
+      lossy ? std::max(schedule.max_run_retries, 0) : 0;
+  DistributedRun run;
+  FaultCounters total_faults;
+  for (std::int32_t attempt = 0;; ++attempt) {
+    const std::uint64_t attempt_seed =
+        attempt == 0
+            ? seed
+            : stream_seed(seed, 1, static_cast<std::uint64_t>(attempt));
+    DistributedCarveResult result = carve_decomposition_distributed(
+        engine_graph, schedule.params(attempt_seed), options, vertex_names);
+    total_faults += result.sim.faults;
+    run.sim = result.sim;
+    run.run.carve = std::move(result.carve);
+    run.run.carve.run_retries = attempt;
+    if (!lossy) break;
+    if (run.run.carve.status == CarveStatus::kOk) {
+      if (run.run.carve.radius_overflow) {
+        // A blown per-phase retry budget accepted truncated samples: the
+        // validity certificate is void, treat like a failed validation.
+        run.run.carve.status = CarveStatus::kRejected;
+      } else {
+        const FastDecompositionReport report = validate_decomposition_fast(
+            original_graph, run.run.carve.clustering);
+        if (report.complete && report.proper_phase_coloring &&
+            report.all_clusters_connected) {
+          break;  // validated under faults: genuinely kOk
+        }
+        run.run.carve.status = CarveStatus::kRejected;
+      }
+    }
+    if (attempt == run_budget) break;  // named failure stands
+  }
+  run.run.carve.faults = total_faults;
+  run.run.bounds = schedule.bounds;
+  run.run.k = schedule.k;
+  run.run.c = schedule.c;
+  return run;
+}
+
+}  // namespace
 
 DistributedRun run_schedule_distributed(const Graph& g,
                                         const CarveSchedule& schedule,
                                         std::uint64_t seed,
                                         const EngineOptions& engine_options) {
-  DistributedCarveResult result = carve_decomposition_distributed(
-      g, schedule.params(seed), engine_options);
-  DistributedRun run;
-  run.sim = result.sim;
-  run.run.carve = std::move(result.carve);
-  run.run.bounds = schedule.bounds;
-  run.run.k = schedule.k;
-  run.run.c = schedule.c;
-  return run;
+  return run_schedule_distributed_impl(g, g, {}, schedule, seed,
+                                       engine_options);
 }
 
 DistributedRun run_schedule_distributed(const LayoutGraph& lg,
                                         const CarveSchedule& schedule,
                                         std::uint64_t seed,
                                         const EngineOptions& engine_options) {
-  DistributedCarveResult result = carve_decomposition_distributed(
-      lg.graph, schedule.params(seed), engine_options, lg.layout.to_old);
-  DistributedRun run;
-  run.sim = result.sim;
-  run.run.carve = std::move(result.carve);
-  run.run.bounds = schedule.bounds;
-  run.run.k = schedule.k;
-  run.run.c = schedule.c;
-  return run;
+  const bool lossy = engine_options.transport != nullptr &&
+                     engine_options.transport->lossy();
+  if (!lossy) {
+    return run_schedule_distributed_impl(lg.graph, lg.graph,
+                                         lg.layout.to_old, schedule, seed,
+                                         engine_options);
+  }
+  // Faulted attempts are validated against the ORIGINAL graph (the
+  // clustering is keyed to original ids). LayoutGraph does not carry it,
+  // so reconstruct it by undoing the relabeling — paid only on the lossy
+  // path.
+  const Graph original = apply_layout(lg.graph, lg.layout.inverse());
+  return run_schedule_distributed_impl(lg.graph, original, lg.layout.to_old,
+                                       schedule, seed, engine_options);
 }
 
 }  // namespace dsnd

@@ -80,6 +80,8 @@ void Outbox::wake_self_in(std::size_t rounds) {
 
 SyncEngine::SyncEngine(const Graph& g, EngineOptions options)
     : graph_(g), options_(options) {
+  transport_ =
+      options_.transport != nullptr ? options_.transport : &default_transport_;
   const auto n = static_cast<std::size_t>(g.num_vertices());
   workers_ = options_.threads == 0
                  ? std::max(1u, std::thread::hardware_concurrency())
@@ -140,6 +142,9 @@ void SyncEngine::reset(Protocol& protocol) {
   }
   std::fill(active_stamp_.begin(), active_stamp_.end(), 0);
   std::fill(worker_errors_.begin(), worker_errors_.end(), nullptr);
+
+  transport_->begin_run(
+      TransportGeometry{workers_, shard_width_, graph_.num_vertices()});
 }
 
 void SyncEngine::run_vertex(Protocol& protocol, VertexId v,
@@ -203,15 +208,17 @@ void SyncEngine::collect_shard(unsigned s, unsigned parity) {
   }
   shard.touched.clear();
 
-  // Pass 1 over the buckets addressed to this shard: per-receiver counts
-  // and this shard's slice of the message metrics.
+  // Pass 1 over the slices the transport delivered to this shard:
+  // per-receiver counts and this shard's slice of the message metrics
+  // (what was RECEIVED — a lossy transport's drops are billed in the
+  // fault counters, not here).
+  const std::span<const TransportSlice> delivered = transport_->delivery(s);
   std::uint64_t messages = 0;
   std::uint64_t word_total = 0;
   std::size_t max_words = 0;
-  for (unsigned w = 0; w < workers_; ++w) {
-    const detail::ShardBucket& bucket = staging_[parity][w].buckets[s];
-    messages += bucket.headers.size();
-    for (const detail::MsgHeader& h : bucket.headers) {
+  for (const TransportSlice& slice : delivered) {
+    messages += slice.headers.size();
+    for (const detail::MsgHeader& h : slice.headers) {
       word_total += h.length;
       if (h.length > max_words) max_words = h.length;
       std::uint32_t& count = inbox_count_[static_cast<std::size_t>(h.to)];
@@ -235,22 +242,24 @@ void SyncEngine::collect_shard(unsigned s, unsigned parity) {
     inbox_count_[ti] = 0;
   }
 
-  // Pass 3: stable counting-sort scatter by receiver. Iterating the
-  // source buckets in worker order reproduces the vertex-order send
-  // sequence (shards are ascending contiguous ranges), so inbox order is
-  // identical for any shard count. Views alias the source bucket arenas
+  // Pass 3: stable counting-sort scatter by receiver. The transport
+  // guarantees scanning its slices in order yields every receiver's
+  // inbox in a shard-count-invariant order (the reliable transport's
+  // slices are the source buckets in worker order — the serial
+  // vertex-order send sequence). Views alias the delivering arenas
   // directly — payload words are never copied again.
   shard.inbox_views.resize(messages);
-  for (unsigned w = 0; w < workers_; ++w) {
-    const detail::ShardBucket& bucket = staging_[parity][w].buckets[s];
-    const std::uint64_t* base = bucket.words.data();
-    for (const detail::MsgHeader& h : bucket.headers) {
+  for (const TransportSlice& slice : delivered) {
+    for (const detail::MsgHeader& h : slice.headers) {
       shard.inbox_views[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
-          MessageView{h.from, {base + h.word_begin, h.length}};
+          MessageView{h.from, {slice.words + h.word_begin, h.length}};
     }
   }
 
-  // Wake requests into the shard's calendar, then fire the next round's
+  // Wake requests into the shard's calendar — read from the RAW staging
+  // buckets, not the transport's delivery: self-wakes are local timers,
+  // so a vertex whose expected message was dropped still runs at its
+  // scheduled round. Then fire the next round's
   // bucket and build the next active list: owned receivers with mail
   // plus due wakes, deduplicated, in vertex-id order (so execution — and
   // hence every inbox order — matches the run-every-vertex mode). In
@@ -387,7 +396,12 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
     }
   } pool_guard{mutex, cv_start, stop, pool};
 
-  while (current_round_ < max_rounds && !protocol.finished()) {
+  const std::size_t round_budget =
+      options_.max_rounds == 0 ? max_rounds
+                               : std::min(max_rounds, options_.max_rounds);
+  const bool lossy = transport_->lossy();
+  bool quiescent = false;
+  while (current_round_ < round_budget && !protocol.finished()) {
     const bool use_active = scheduled_ && current_round_ > 0;
     std::size_t total = 0;
     if (use_active) {
@@ -396,9 +410,11 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
         total += shard.active.size();
         pending += shard.pending_wakes;
       }
-      if (total == 0 && pending == 0) {
-        // Quiescent: no inbox, no pending wake — no future round can
-        // change state, so running to the cap would only burn time.
+      if (total == 0 && pending == 0 && transport_->pending() == 0) {
+        // Quiescent: no inbox, no pending wake, nothing in flight in the
+        // transport — no future round can change state, so running to
+        // the cap would only burn time.
+        quiescent = true;
         break;
       }
     } else {
@@ -434,9 +450,14 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
           }
         }
       }
+      transport_->exchange(current_round_, staging_[parity]);
       for (unsigned s = 0; s < workers_; ++s) collect_shard(s, parity);
     } else {
       dispatch(/*collect=*/false, parity, use_active);
+      // The exchange runs serially between the two stages: workers are
+      // parked, so the transport may inspect every staging bucket (and
+      // mutate its own delivery buffers) race-free.
+      transport_->exchange(current_round_, staging_[parity]);
       dispatch(/*collect=*/true, parity, use_active);
       for (std::exception_ptr& error : worker_errors_) {
         if (error) {
@@ -463,11 +484,23 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
     metrics_.messages += round_total;
     round_messages_.push_back(round_total);
 
+    if (lossy) {
+      // Fault accounting only on lossy transports: reliable runs keep
+      // their zero-allocation steady state (faults_per_round stays
+      // empty) and their bit-identical metrics.
+      const FaultCounters faults = transport_->round_faults();
+      metrics_.faults += faults;
+      metrics_.faults_per_round.push_back(faults);
+    }
+
     ++current_round_;
   }
 
   metrics_.rounds = current_round_;
   metrics_.messages_per_round = round_messages_;
+  metrics_.status = protocol.finished() ? RunStatus::kFinished
+                    : quiescent        ? RunStatus::kQuiescent
+                                       : RunStatus::kRoundBudgetExhausted;
   return metrics_;
 }
 

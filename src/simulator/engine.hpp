@@ -16,13 +16,17 @@
 //     Sends are routed owner-computes at stage time: worker w keeps one
 //     staging bucket per destination shard (headers + flat payload
 //     words), so a send appends to bucket (w -> shard_of(to)).
-//   stage 2 (exchange + deliver): worker t counting-sorts the headers of
-//     the S buckets addressed to shard t — a fixed-size all-to-all of
-//     bucket slices, no global sort, no serial merge — into shard t's
-//     CSR inbox index. Inbox views point straight into the source
-//     buckets' word arenas (zero payload copies); buckets are
-//     double-buffered by round parity so the views stay valid while the
-//     next round stages into the other parity.
+//   stage 2 (exchange + deliver): the round boundary hands the staged
+//     buckets to the engine's Transport (see simulator/transport.hpp),
+//     which decides what each destination shard receives — the default
+//     ReliableTransport returns the bucket slices untouched, a
+//     FaultyTransport may drop/delay/duplicate/reorder them. Worker t
+//     then counting-sorts the headers delivered to shard t — a
+//     fixed-size all-to-all of slices, no global sort, no serial merge —
+//     into shard t's CSR inbox index. Inbox views point straight into
+//     the delivering arenas (zero payload copies on the reliable path);
+//     arenas are double-buffered by round parity so the views stay valid
+//     while the next round stages into the other parity.
 //
 // Iterating source buckets in worker order reproduces the serial
 // vertex-order send sequence (shards are ascending contiguous id
@@ -53,6 +57,7 @@
 
 #include "graph/graph.hpp"
 #include "simulator/metrics.hpp"
+#include "simulator/transport.hpp"
 
 namespace dsnd {
 
@@ -79,44 +84,24 @@ struct EngineOptions {
   /// 1 = serial (default); 0 = hardware concurrency. Any value produces
   /// identical results.
   unsigned threads = 1;
+
+  /// Upper bound on rounds per run(), applied on top of the cap passed
+  /// to run(): the effective budget is the smaller of the two. 0 (the
+  /// default) defers entirely to the run() argument. When the budget
+  /// runs out before finished()/quiescence the run ends with the named
+  /// RunStatus::kRoundBudgetExhausted instead of hanging — essential
+  /// under lossy transports, where a dropped message can otherwise stall
+  /// a protocol that polls forever.
+  std::size_t max_rounds = 0;
+
+  /// The transport backing the exchange+deliver stage. Borrowed, not
+  /// owned; must outlive the engine's runs. nullptr (the default) uses
+  /// an engine-owned ReliableTransport — today's in-process bucket
+  /// exchange, bit for bit.
+  Transport* transport = nullptr;
 };
 
 namespace detail {
-
-/// One staged send: receiver, sender, and the payload's location in the
-/// bucket's word arena. 64-bit word offsets keep >4G-word rounds valid.
-struct MsgHeader {
-  VertexId from = -1;
-  VertexId to = -1;
-  std::uint32_t length = 0;
-  std::size_t word_begin = 0;
-};
-
-/// One (source worker -> destination shard) staging bucket: headers,
-/// flat payload words, and the wake requests of senders owned by the
-/// destination shard. Capacity persists across rounds.
-struct ShardBucket {
-  std::vector<MsgHeader> headers;
-  std::vector<std::uint64_t> words;
-  std::vector<std::pair<std::uint64_t, VertexId>> wakes;  // (round, vertex)
-
-  void clear() {
-    headers.clear();
-    words.clear();
-    wakes.clear();
-  }
-};
-
-/// Per-worker send staging for one round parity: one bucket per
-/// destination shard. With threads > 1 each worker owns one; the round
-/// boundary exchanges bucket slices instead of merging arenas.
-struct SendStaging {
-  std::vector<ShardBucket> buckets;
-
-  void clear_round() {
-    for (ShardBucket& bucket : buckets) bucket.clear();
-  }
-};
 
 /// Shard-local delivery and scheduling state, owned by one worker and
 /// cache-line padded so neighboring shards never share a line.
@@ -280,13 +265,20 @@ class SyncEngine {
   /// shard's scheduled vertices.
   void execute_shard(Protocol& protocol, unsigned s, unsigned parity,
                      bool use_active);
-  /// Stage 2 for one shard: counting-sort the buckets addressed to it
-  /// into its CSR inbox, fire due wakes, build its next active list.
+  /// Stage 2 for one shard: counting-sort what the transport delivered
+  /// to it into its CSR inbox, fire due wakes (read from the raw staging
+  /// buckets, never the transport — self-wakes are local timers and
+  /// survive any fault plan), build its next active list.
   void collect_shard(unsigned s, unsigned parity);
   void ring_insert(detail::Shard& shard, std::uint64_t target, VertexId v);
 
   const Graph& graph_;
   const EngineOptions options_;
+  // The resolved transport: options_.transport, or the engine-owned
+  // reliable default. Exchange runs serially on the driving thread;
+  // delivery() is read in parallel by the collect workers.
+  Transport* transport_ = nullptr;
+  ReliableTransport default_transport_;
   unsigned workers_ = 1;
   VertexId shard_width_ = 1;  // ceil(n / workers): shard s owns
                               // [s*width, min((s+1)*width, n))

@@ -5,6 +5,15 @@
 
 namespace dsnd {
 
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kFinished: return "finished";
+    case RunStatus::kQuiescent: return "quiescent";
+    case RunStatus::kRoundBudgetExhausted: return "round-budget";
+  }
+  return "unknown";
+}
+
 double SimMetrics::avg_messages_per_round() const {
   if (rounds == 0) return 0.0;
   return static_cast<double>(messages) / static_cast<double>(rounds);
@@ -14,7 +23,13 @@ std::string SimMetrics::to_string() const {
   std::ostringstream out;
   out << "rounds=" << rounds << " messages=" << messages
       << " words=" << words << " max_message_words=" << max_message_words
-      << " vertex_activations=" << vertex_activations;
+      << " vertex_activations=" << vertex_activations
+      << " status=" << run_status_name(status);
+  if (faults.total() != 0) {
+    out << " dropped=" << faults.dropped << " delayed=" << faults.delayed
+        << " duplicated=" << faults.duplicated
+        << " crashed=" << faults.crashed;
+  }
   return out.str();
 }
 

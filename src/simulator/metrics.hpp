@@ -12,6 +12,43 @@
 
 namespace dsnd {
 
+/// How a run() ended. Anything other than the first two is a *named*
+/// failure: the engine refuses to hang or silently stop making progress,
+/// it tells the caller why it gave up instead.
+enum class RunStatus {
+  /// The protocol's finished() predicate fired.
+  kFinished,
+  /// Scheduled mode reached quiescence (no active vertex, no pending
+  /// wake, no in-flight transport delivery) before finished().
+  kQuiescent,
+  /// The round budget ran out first — under a lossy transport this is
+  /// the named replacement for a no-progress hang.
+  kRoundBudgetExhausted,
+};
+
+const char* run_status_name(RunStatus status);
+
+/// Fault events injected by a transport, per round or per run. All
+/// zeros on a reliable transport.
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t crashed = 0;  // suppressed sends from crash-stopped vertices
+
+  std::uint64_t total() const {
+    return dropped + delayed + duplicated + crashed;
+  }
+
+  FaultCounters& operator+=(const FaultCounters& other) {
+    dropped += other.dropped;
+    delayed += other.delayed;
+    duplicated += other.duplicated;
+    crashed += other.crashed;
+    return *this;
+  }
+};
+
 struct SimMetrics {
   std::size_t rounds = 0;
   std::uint64_t messages = 0;
@@ -25,6 +62,21 @@ struct SimMetrics {
   /// scheduling this is how much work the engine actually did; without
   /// it, exactly n * rounds.
   std::uint64_t vertex_activations = 0;
+
+  /// How the run ended (see RunStatus). kQuiescent and kFinished are the
+  /// normal outcomes; kRoundBudgetExhausted is the named non-hang
+  /// failure a lossy transport can force.
+  RunStatus status = RunStatus::kFinished;
+
+  /// Fault events injected by the transport across the whole run (all
+  /// zeros on a reliable transport). `messages`/`words` above count what
+  /// was DELIVERED, post-faults.
+  FaultCounters faults;
+
+  /// Per-round fault counters (index = round). Populated only when the
+  /// attached transport is lossy; empty otherwise, so reliable runs keep
+  /// their zero-allocation steady state.
+  std::vector<FaultCounters> faults_per_round;
 
   /// Average messages per round; 0 if no rounds elapsed.
   double avg_messages_per_round() const;

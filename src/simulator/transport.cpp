@@ -1,0 +1,244 @@
+#include "simulator/transport.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace dsnd {
+
+// ---------------------------------------------------------------------------
+// ReliableTransport
+// ---------------------------------------------------------------------------
+
+void ReliableTransport::begin_run(const TransportGeometry& geometry) {
+  shards_ = geometry.shards;
+  slices_.resize(shards_);
+  for (std::vector<TransportSlice>& per_worker : slices_) {
+    per_worker.resize(shards_);
+  }
+}
+
+void ReliableTransport::exchange(std::size_t round,
+                                 std::span<detail::SendStaging> staging) {
+  (void)round;
+  DSND_CHECK(staging.size() == shards_,
+             "staging worker count does not match the announced geometry");
+  // Slice (s, w) aliases staging bucket (w, s): destination shard s
+  // receives the source workers' buckets in worker order — the serial
+  // vertex-order send sequence. Rewritten in place, no allocation.
+  for (unsigned s = 0; s < shards_; ++s) {
+    for (unsigned w = 0; w < shards_; ++w) {
+      const detail::ShardBucket& bucket = staging[w].buckets[s];
+      slices_[s][w] =
+          TransportSlice{std::span<const detail::MsgHeader>(bucket.headers),
+                         bucket.words.data()};
+    }
+  }
+}
+
+std::span<const TransportSlice> ReliableTransport::delivery(
+    const unsigned s) const {
+  return slices_[s];
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport
+// ---------------------------------------------------------------------------
+
+FaultyTransport::FaultyTransport(FaultPlan plan, Transport* inner)
+    : plan_(std::move(plan)), inner_(inner) {
+  DSND_REQUIRE(plan_.drop_rate >= 0.0 && plan_.drop_rate <= 1.0 &&
+                   plan_.duplicate_rate >= 0.0 && plan_.duplicate_rate <= 1.0 &&
+                   plan_.delay_rate >= 0.0 && plan_.delay_rate <= 1.0 &&
+                   plan_.reorder_rate >= 0.0 && plan_.reorder_rate <= 1.0,
+               "fault rates must lie in [0, 1]");
+  DSND_REQUIRE(plan_.max_delay_rounds >= 1,
+               "max_delay_rounds must be at least 1");
+}
+
+void FaultyTransport::begin_run(const TransportGeometry& geometry) {
+  geometry_ = geometry;
+  Transport& inner = inner_ != nullptr ? *inner_ : owned_inner_;
+  inner.begin_run(geometry);
+
+  for (std::vector<OutBucket>& parity : out_) {
+    parity.resize(geometry.shards);
+    for (OutBucket& bucket : parity) {
+      bucket.headers.clear();
+      bucket.words.clear();
+      bucket.sunk.clear();
+    }
+  }
+  out_slices_.resize(geometry.shards);
+
+  // The calendar ring must be strictly longer than the largest possible
+  // delay so a slot is fully drained before anything new lands in it.
+  std::size_t ring = 1;
+  while (ring <= plan_.max_delay_rounds) ring *= 2;
+  ring *= 2;
+  calendar_.resize(ring);
+  for (DelaySlot& slot : calendar_) {
+    slot.msgs.clear();
+    slot.words.clear();
+  }
+
+  crash_round_.assign(static_cast<std::size_t>(geometry.num_vertices),
+                      std::numeric_limits<std::uint64_t>::max());
+  for (const CrashSpan& span : plan_.crashes) {
+    const VertexId end = std::min(span.end, geometry.num_vertices);
+    for (VertexId v = std::max<VertexId>(span.begin, 0); v < end; ++v) {
+      std::uint64_t& at = crash_round_[static_cast<std::size_t>(v)];
+      at = std::min(at, span.round);
+    }
+  }
+
+  pending_ = 0;
+  round_faults_ = FaultCounters{};
+}
+
+bool FaultyTransport::targeted(const std::size_t round, const VertexId from,
+                               const VertexId to) const {
+  for (const EdgeDrop& drop : plan_.targeted_drops) {
+    if (drop.round == round && drop.from == from && drop.to == to) return true;
+  }
+  return false;
+}
+
+void FaultyTransport::emit(const std::size_t round, const VertexId from,
+                           const VertexId to,
+                           const std::span<const std::uint64_t> payload,
+                           const bool reorder, const std::uint32_t delay) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  if (delay == 0) {
+    OutBucket& out = out_[round & 1][geometry_.shard_of(to)];
+    const std::size_t begin = out.words.size();
+    out.words.insert(out.words.end(), payload.begin(), payload.end());
+    (reorder ? out.sunk : out.headers)
+        .push_back(detail::MsgHeader{from, to, length, begin});
+    return;
+  }
+  DelaySlot& slot = calendar_[(round + delay) & (calendar_.size() - 1)];
+  const std::size_t begin = slot.words.size();
+  slot.words.insert(slot.words.end(), payload.begin(), payload.end());
+  slot.msgs.push_back(
+      DelayedMsg{detail::MsgHeader{from, to, length, begin}, reorder});
+  ++pending_;
+  ++round_faults_.delayed;
+}
+
+void FaultyTransport::exchange(const std::size_t round,
+                               std::span<detail::SendStaging> staging) {
+  Transport& inner = inner_ != nullptr ? *inner_ : owned_inner_;
+  inner.exchange(round, staging);
+  round_faults_ = FaultCounters{};
+
+  const unsigned parity = static_cast<unsigned>(round & 1);
+  for (OutBucket& bucket : out_[parity]) {
+    bucket.headers.clear();
+    bucket.words.clear();
+    bucket.sunk.clear();
+  }
+
+  // Due delayed messages first: parked copies whose target round is this
+  // one, in enqueue order (source-round order, sender-serial within a
+  // round — shard-count invariant). Their reorder mark still applies
+  // relative to THIS round's delivery.
+  DelaySlot& due = calendar_[round & (calendar_.size() - 1)];
+  for (const DelayedMsg& msg : due.msgs) {
+    const detail::MsgHeader& h = msg.header;
+    emit(round, h.from, h.to, {due.words.data() + h.word_begin, h.length},
+         msg.reorder, /*delay=*/0);
+  }
+  pending_ -= due.msgs.size();
+  due.msgs.clear();
+  due.words.clear();
+
+  // Fresh traffic: walk each destination shard's inner delivery in slice
+  // order (sender-serial) and put every message copy through the plan.
+  // Each decision comes from a generator keyed by (seed, round, from,
+  // to, occurrence) — none of which depends on the shard count.
+  for (unsigned s = 0; s < geometry_.shards; ++s) {
+    VertexId block_sender = -1;
+    for (const TransportSlice& slice : inner.delivery(s)) {
+      for (const detail::MsgHeader& h : slice.headers) {
+        if (h.from != block_sender) {
+          // A sender's headers are contiguous within a slice (a vertex
+          // executes once per round, appending in send order), so the
+          // per-(from, to) occurrence scratch resets per sender block.
+          block_sender = h.from;
+          occurrence_.clear();
+        }
+        std::uint32_t occurrence = 0;
+        bool found = false;
+        for (auto& [to, count] : occurrence_) {
+          if (to == h.to) {
+            occurrence = count++;
+            found = true;
+            break;
+          }
+        }
+        if (!found) occurrence_.emplace_back(h.to, 1u);
+
+        if (round >= crash_round_[static_cast<std::size_t>(h.from)]) {
+          ++round_faults_.crashed;
+          continue;
+        }
+        if (!plan_.targeted_drops.empty() && targeted(round, h.from, h.to)) {
+          ++round_faults_.dropped;
+          continue;
+        }
+
+        Xoshiro256ss rng(stream_seed(
+            stream_seed(plan_.seed, round,
+                        static_cast<std::uint64_t>(h.from) + 1),
+            static_cast<std::uint64_t>(h.to) + 1, occurrence));
+        if (plan_.drop_rate > 0.0 && uniform_unit(rng) < plan_.drop_rate) {
+          ++round_faults_.dropped;
+          continue;
+        }
+        unsigned copies = 1;
+        if (plan_.duplicate_rate > 0.0 &&
+            uniform_unit(rng) < plan_.duplicate_rate) {
+          copies = 2;
+          ++round_faults_.duplicated;
+        }
+        const std::span<const std::uint64_t> payload{
+            slice.words + h.word_begin, h.length};
+        for (unsigned copy = 0; copy < copies; ++copy) {
+          std::uint32_t delay = 0;
+          if (plan_.delay_rate > 0.0 &&
+              uniform_unit(rng) < plan_.delay_rate) {
+            delay = 1 + static_cast<std::uint32_t>(uniform_below(
+                            rng, plan_.max_delay_rounds));
+          }
+          const bool reorder = plan_.reorder_rate > 0.0 &&
+                               uniform_unit(rng) < plan_.reorder_rate;
+          emit(round, h.from, h.to, payload, reorder, delay);
+        }
+      }
+    }
+  }
+
+  // Seal this round's delivery: reorder-marked copies sink, stably,
+  // behind every unmarked message of the shard's round. Restricted to
+  // any single receiver this is a stable partition of its subsequence,
+  // so per-receiver inbox order stays shard-count invariant.
+  for (unsigned s = 0; s < geometry_.shards; ++s) {
+    OutBucket& out = out_[parity][s];
+    out.headers.insert(out.headers.end(), out.sunk.begin(), out.sunk.end());
+    out.sunk.clear();
+    out_slices_[s] =
+        TransportSlice{std::span<const detail::MsgHeader>(out.headers),
+                       out.words.data()};
+  }
+}
+
+std::span<const TransportSlice> FaultyTransport::delivery(
+    const unsigned s) const {
+  return {&out_slices_[s], 1};
+}
+
+}  // namespace dsnd

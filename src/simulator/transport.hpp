@@ -1,0 +1,282 @@
+// The transport seam behind the engine's exchange+deliver stage.
+//
+// A round of the sharded engine has two halves: workers stage sends into
+// per-(source worker, destination shard) buckets, and the round boundary
+// hands each destination shard the bucket slices addressed to it. The
+// Transport interface owns that hand-off: the engine stages into the
+// wire-format structs below and then asks the transport what each shard
+// actually RECEIVES this round. Swapping the transport swaps the network
+// without touching the engine, the protocols, or the staging path — the
+// seam the future socket/MPI backend plugs into (ROADMAP: multi-process
+// backend).
+//
+//   ReliableTransport   delivers exactly what was staged: its slices
+//                       alias the staging buckets directly (zero copies,
+//                       zero allocations in steady state), reproducing
+//                       the pre-seam engine bit for bit.
+//   FaultyTransport     wraps any inner transport and applies a
+//                       deterministic, seeded FaultPlan to whatever the
+//                       inner transport delivers: per-message drop,
+//                       duplication, bounded delay (a small calendar of
+//                       copied payloads), within-round reordering, and
+//                       crash-stop vertex ranges that go silent from a
+//                       configured round.
+//
+// Determinism contract: every fault decision is drawn from a stream
+// keyed by (fault_seed, round, from, to, occurrence) — the stream-split
+// scheme the generators and the carving samplers already use — and the
+// per-receiver delivery order is defined in shard-count-invariant terms
+// (sender serial order; due-delayed before fresh; reorder = stable sink
+// to the back). A chaos run is therefore bit-identical across
+// thread/shard counts, exactly like a reliable run.
+//
+// Self-wakes (Outbox::wake_self_in) are local timers, not network
+// traffic: they ride in the staging buckets for ownership routing but
+// are read by the engine directly, never through the transport — a
+// vertex whose expected message was dropped still gets its scheduled
+// wake (no permanently-asleep vertices under loss).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simulator/metrics.hpp"
+
+namespace dsnd {
+
+namespace detail {
+
+/// One staged send: receiver, sender, and the payload's location in the
+/// bucket's word arena. 64-bit word offsets keep >4G-word rounds valid.
+struct MsgHeader {
+  VertexId from = -1;
+  VertexId to = -1;
+  std::uint32_t length = 0;
+  std::size_t word_begin = 0;
+};
+
+/// One (source worker -> destination shard) staging bucket: headers,
+/// flat payload words, and the wake requests of senders owned by the
+/// destination shard. Capacity persists across rounds.
+struct ShardBucket {
+  std::vector<MsgHeader> headers;
+  std::vector<std::uint64_t> words;
+  std::vector<std::pair<std::uint64_t, VertexId>> wakes;  // (round, vertex)
+
+  void clear() {
+    headers.clear();
+    words.clear();
+    wakes.clear();
+  }
+};
+
+/// Per-worker send staging for one round parity: one bucket per
+/// destination shard. With threads > 1 each worker owns one; the round
+/// boundary exchanges bucket slices instead of merging arenas.
+struct SendStaging {
+  std::vector<ShardBucket> buckets;
+
+  void clear_round() {
+    for (ShardBucket& bucket : buckets) bucket.clear();
+  }
+};
+
+}  // namespace detail
+
+/// One contiguous run of delivered messages: headers plus the word arena
+/// their word_begin offsets index into. A shard's inbox is built by
+/// scanning its slices in order; payload views alias `words` directly,
+/// so the transport must keep the arena alive until the NEXT round's
+/// exchange (the engine's double-buffering contract).
+struct TransportSlice {
+  std::span<const detail::MsgHeader> headers;
+  const std::uint64_t* words = nullptr;
+};
+
+/// Engine geometry handed to Transport::begin_run: how vertex ids map to
+/// destination shards this run. shard_of(v) = v / shard_width.
+struct TransportGeometry {
+  unsigned shards = 1;
+  VertexId shard_width = 1;
+  VertexId num_vertices = 0;
+
+  unsigned shard_of(VertexId v) const {
+    return static_cast<unsigned>(v / shard_width);
+  }
+};
+
+/// The exchange+deliver stage as an interface. Lifecycle per engine
+/// run(): begin_run once, then per round one serial exchange() (between
+/// the execute and collect stages, on the driving thread) followed by
+/// delivery(s) calls from the per-shard collect workers (read-only,
+/// safe in parallel).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Called once per engine run() before the first round; resets any
+  /// carried state (delay calendars, counters) and sizes per-shard
+  /// structures.
+  virtual void begin_run(const TransportGeometry& geometry) = 0;
+
+  /// Hands the transport this round's staged sends: one SendStaging per
+  /// source worker (the current parity's). The transport prepares what
+  /// each destination shard will receive. Serial, driving thread only.
+  virtual void exchange(std::size_t round,
+                        std::span<detail::SendStaging> staging) = 0;
+
+  /// The slices destination shard `s` receives this round, in delivery
+  /// order. Scanning them in order yields every receiver's inbox in its
+  /// final order. Valid until the next exchange() of the same parity.
+  virtual std::span<const TransportSlice> delivery(unsigned s) const = 0;
+
+  /// Messages accepted but not yet delivered (in-flight delays). The
+  /// engine must not declare quiescence while this is nonzero: a pending
+  /// delivery can still change protocol state.
+  virtual std::size_t pending() const { return 0; }
+
+  /// True when this transport can deliver something other than exactly
+  /// what was staged. Gates the carve layer's verify-and-recover loop
+  /// and relaxes its exhaustion invariant into a named failure status.
+  virtual bool lossy() const { return false; }
+
+  /// Fault events injected by the last exchange() (zeros for fault-free
+  /// transports). The engine rolls these into SimMetrics per round.
+  virtual FaultCounters round_faults() const { return {}; }
+};
+
+/// Delivers exactly what was staged: slice (w, s) aliases staging bucket
+/// (w, s), in source-worker order — the serial send order, which is what
+/// makes results bit-identical for every shard count. Zero payload
+/// copies, zero steady-state allocations.
+class ReliableTransport final : public Transport {
+ public:
+  void begin_run(const TransportGeometry& geometry) override;
+  void exchange(std::size_t round,
+                std::span<detail::SendStaging> staging) override;
+  std::span<const TransportSlice> delivery(unsigned s) const override;
+
+ private:
+  unsigned shards_ = 1;
+  // slices_[s] holds one slice per source worker, rewritten in place
+  // each exchange (capacity persists across rounds and runs).
+  std::vector<std::vector<TransportSlice>> slices_;
+};
+
+/// A vertex id range [begin, end) that crash-stops: from `round` on, the
+/// transport suppresses every message these vertices send (fail-silent;
+/// the simulated processor still runs locally, its traffic just never
+/// leaves the NIC). Ranges rather than shard ids keep the plan
+/// independent of the engine's shard count.
+struct CrashSpan {
+  VertexId begin = 0;
+  VertexId end = 0;  // exclusive
+  std::uint64_t round = 0;
+};
+
+/// One surgically targeted drop: the message(s) from `from` to `to`
+/// staged in round `round` vanish. The deterministic scalpel for
+/// regression tests (e.g. the wake-calendar-under-loss test) where a
+/// rate would be a shotgun.
+struct EdgeDrop {
+  std::uint64_t round = 0;
+  VertexId from = -1;
+  VertexId to = -1;
+};
+
+/// A deterministic fault schedule. Every per-message decision is drawn
+/// from the stream keyed by (seed, round, from, to, occurrence), so the
+/// same plan on the same protocol traffic injects the same faults
+/// regardless of thread/shard count.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Probability a message is dropped outright.
+  double drop_rate = 0.0;
+  /// Probability a message is delivered twice (copies scheduled
+  /// independently, so one copy may be delayed while the other is not).
+  double duplicate_rate = 0.0;
+  /// Probability a message copy is delayed by 1..max_delay_rounds extra
+  /// rounds (uniform), delivered late via the transport's calendar.
+  double delay_rate = 0.0;
+  std::uint32_t max_delay_rounds = 1;
+  /// Probability a message copy is reordered: marked copies sink,
+  /// stably, behind every unmarked message of the same round's delivery.
+  double reorder_rate = 0.0;
+  /// Crash-stop schedule (fail-silent senders from a given round).
+  std::vector<CrashSpan> crashes;
+  /// Targeted single-message drops, applied before any random decision.
+  std::vector<EdgeDrop> targeted_drops;
+
+  /// True when the plan can actually perturb delivery. An all-zero plan
+  /// makes FaultyTransport a bit-exact (if copying) relay.
+  bool any() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+           reorder_rate > 0.0 || !crashes.empty() || !targeted_drops.empty();
+  }
+};
+
+/// Applies a FaultPlan to whatever an inner transport delivers. The
+/// default inner transport is an owned ReliableTransport; a future
+/// socket/MPI transport slots in unchanged. Surviving payloads are
+/// copied into parity-buffered arenas (delayed ones additionally
+/// through the calendar), so the aliasing lifetime contract of
+/// TransportSlice holds just like the reliable path.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(FaultPlan plan, Transport* inner = nullptr);
+
+  void begin_run(const TransportGeometry& geometry) override;
+  void exchange(std::size_t round,
+                std::span<detail::SendStaging> staging) override;
+  std::span<const TransportSlice> delivery(unsigned s) const override;
+  std::size_t pending() const override { return pending_; }
+  bool lossy() const override { return plan_.any(); }
+  FaultCounters round_faults() const override { return round_faults_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// A delayed message parked in the calendar: header offsets index the
+  /// owning slot's word arena; `reorder` was drawn at send time.
+  struct DelayedMsg {
+    detail::MsgHeader header;
+    bool reorder = false;
+  };
+  struct DelaySlot {
+    std::vector<DelayedMsg> msgs;
+    std::vector<std::uint64_t> words;
+  };
+  /// One destination shard's delivered messages for one round parity.
+  struct OutBucket {
+    std::vector<detail::MsgHeader> headers;
+    std::vector<std::uint64_t> words;
+    std::vector<detail::MsgHeader> sunk;  // reorder-marked, appended last
+  };
+
+  bool targeted(std::size_t round, VertexId from, VertexId to) const;
+  /// Routes one surviving message copy: into the current round's out
+  /// bucket for `to`'s shard (delay == 0) or into the delay calendar
+  /// slot for round + delay. Payload words are copied either way.
+  void emit(std::size_t round, VertexId from, VertexId to,
+            std::span<const std::uint64_t> payload, bool reorder,
+            std::uint32_t delay);
+
+  FaultPlan plan_;
+  Transport* inner_ = nullptr;          // borrowed when non-null
+  ReliableTransport owned_inner_;       // used when constructed without one
+  TransportGeometry geometry_;
+  std::array<std::vector<OutBucket>, 2> out_;  // [round parity][shard]
+  std::vector<TransportSlice> out_slices_;     // one per shard, per round
+  std::vector<DelaySlot> calendar_;            // ring keyed by target round
+  std::vector<std::uint64_t> crash_round_;     // per vertex, ~0 = never
+  // Occurrence scratch: (to, count) pairs for the current sender's block.
+  std::vector<std::pair<VertexId, std::uint32_t>> occurrence_;
+  std::size_t pending_ = 0;
+  FaultCounters round_faults_;
+};
+
+}  // namespace dsnd
