@@ -9,6 +9,7 @@
 // are built from.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <deque>
@@ -259,6 +260,19 @@ struct EngineCaseOptions {
   /// When non-null, filled with the row's outcome so sweep drivers can
   /// aggregate validity rates without re-validating.
   struct EngineCaseOutcome* outcome = nullptr;
+  /// When > 1, run the case this many times on ONE reusable CarveContext:
+  /// the first (cold) run pays context construction — engine, worker
+  /// pool, protocol arrays — and runs 2..N are warm re-runs on the
+  /// parked pool. wall_ms then reports the cold run, and the JSON record
+  /// gains cold_ms / warm_ms (minimum over the warm runs) / warm_speedup.
+  /// Every repeat must reproduce the cold run bit for bit; a divergent
+  /// warm run flags the row INVALID (that IS a contract violation).
+  int repeat = 1;
+  /// EngineOptions::elide_quiet_rounds for the row — the barrier-elision
+  /// A/B knob. Results are identical either way; only wall time may
+  /// move. Rows with the fast path disabled mark their JSON record with
+  /// "elide_quiet_rounds": 0 so the split is visible in BENCH files.
+  bool elide_quiet_rounds = true;
 };
 
 /// What one engine_scaling_case actually did — the valid-column string
@@ -268,6 +282,12 @@ struct EngineCaseOutcome {
   CarveStatus status = CarveStatus::kOk;
   std::int32_t run_retries = 0;
   FaultCounters faults;
+  /// repeat > 1 only: the cold/warm wall times and whether any warm run
+  /// diverged from the cold one (drivers fail on warm_ms > cold_ms and
+  /// on any mismatch).
+  double cold_ms = -1.0;
+  double warm_ms = -1.0;
+  bool warm_mismatch = false;
 };
 
 /// Shared engine-scaling measurement (bench_congest E8d and
@@ -296,18 +316,55 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
   EngineOptions engine;
   engine.threads = options.threads;
   engine.max_rounds = options.max_rounds;
+  engine.elide_quiet_rounds = options.elide_quiet_rounds;
   std::optional<FaultyTransport> chaos;
   if (options.faults) {
     chaos.emplace(*options.faults);
     engine.transport = &*chaos;
   }
-  Timer timer;
-  const DistributedRun run =
-      options.layout
-          ? run_schedule_distributed(*options.layout, schedule, options.seed,
-                                     engine)
-          : run_schedule_distributed(g, schedule, options.seed, engine);
-  const double wall_ms = timer.elapsed_millis();
+  DistributedRun run;
+  double wall_ms = 0.0;
+  double cold_ms = -1.0;
+  double warm_ms = -1.0;
+  bool warm_mismatch = false;
+  if (options.repeat > 1) {
+    // Cold = context construction (engine, worker pool, protocol arrays)
+    // plus the first run; warm = re-runs on the same context, whose pool
+    // stayed parked and whose buffers kept their capacity. Warm runs
+    // must reproduce the cold clustering bit for bit.
+    Timer cold_timer;
+    std::optional<CarveContext> context;
+    if (options.layout) {
+      context.emplace(*options.layout, engine);
+    } else {
+      context.emplace(g, engine);
+    }
+    run = run_schedule_distributed(*context, schedule, options.seed);
+    cold_ms = cold_timer.elapsed_millis();
+    wall_ms = cold_ms;
+    for (int rep = 1; rep < options.repeat; ++rep) {
+      Timer warm_timer;
+      const DistributedRun warm =
+          run_schedule_distributed(*context, schedule, options.seed);
+      const double ms = warm_timer.elapsed_millis();
+      if (warm_ms < 0.0 || ms < warm_ms) warm_ms = ms;
+      warm_mismatch |=
+          warm.sim.rounds != run.sim.rounds ||
+          warm.sim.messages != run.sim.messages ||
+          warm.sim.words != run.sim.words ||
+          warm.run.clustering().num_clusters() !=
+              run.run.clustering().num_clusters() ||
+          warm.run.clustering().num_colors() !=
+              run.run.clustering().num_colors();
+    }
+  } else {
+    Timer timer;
+    run = options.layout
+              ? run_schedule_distributed(*options.layout, schedule,
+                                         options.seed, engine)
+              : run_schedule_distributed(g, schedule, options.seed, engine);
+    wall_ms = timer.elapsed_millis();
+  }
 
   double validate_ms = 0.0;
   std::string valid_cell = "-";
@@ -328,6 +385,11 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
       valid_cell = valid ? "ok" : "INVALID";
     }
     diameter_upper = report.strong_diameter_upper;
+  }
+  if (warm_mismatch) {
+    // A warm run that diverges from its cold twin violates the
+    // bit-identity contract outright — that IS grep bait.
+    valid_cell = "INVALID";
   }
 
   table.row()
@@ -363,6 +425,15 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
   if (options.construct_ms >= 0.0) {
     record.field("construct_ms", options.construct_ms);
   }
+  if (options.repeat > 1) {
+    record.field("repeat", options.repeat)
+        .field("cold_ms", cold_ms)
+        .field("warm_ms", warm_ms)
+        .field("warm_speedup", cold_ms / std::max(warm_ms, 1e-6));
+  }
+  if (!options.elide_quiet_rounds) {
+    record.field("elide_quiet_rounds", std::uint64_t{0});
+  }
   // Las Vegas recovery cost, always recorded (zero = Lemma 1 never
   // fired) so the CI overflow smoke can grep for a nonzero count.
   record.field("retries", run.run.carve.retries)
@@ -390,6 +461,9 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
     options.outcome->status = run.run.carve.status;
     options.outcome->run_retries = run.run.carve.run_retries;
     options.outcome->faults = run.run.carve.faults;
+    options.outcome->cold_ms = cold_ms;
+    options.outcome->warm_ms = warm_ms;
+    options.outcome->warm_mismatch = warm_mismatch;
   }
   if (options.degree_stats) {
     const DegreeStats degrees = dsnd::degree_stats(g);

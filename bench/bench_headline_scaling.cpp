@@ -29,7 +29,8 @@ double rgg_radius(VertexId n) {
 /// large instances (the CI perf-smoke entry point, and how
 /// BENCH_engine.json records are produced with --json); `--threads N`
 /// runs the cases with N engine workers and `--no-large` skips the
-/// million-vertex instances (the budgeted 2-thread CI step uses both).
+/// million-vertex instances (the budgeted 2-thread CI step uses both);
+/// `--repeat N` measures the warm path (see main()).
 /// The default bench run keeps the quicker sizes. Every case
 /// batch-validates its output with validate_decomposition_fast — at 1M
 /// vertices the O(n + m) validator is what makes checking the run (not
@@ -73,8 +74,12 @@ void overflow_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
   table.print(std::cout);
 }
 
-void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke,
-                    unsigned threads, bool no_large) {
+/// Returns the number of warm-run contract failures when `repeat > 1`
+/// (a warm run slower than its cold twin, or — worse — diverging from
+/// it), so the CI `--repeat` step can fail on a warm regression straight
+/// from the exit code, no JSON math in the workflow.
+int engine_scaling(dsnd::bench::JsonWriter& json, bool smoke,
+                   unsigned threads, bool no_large, int repeat) {
   bench::print_header(
       "E4c / distributed engine scaling (Theorems 1-3)",
       "wall time of the full message-passing execution; the sharded "
@@ -84,16 +89,31 @@ void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke,
   Table table({"schedule", "family", "n", "m", "threads", "rounds",
                "messages", "words", "activations", "wall_ms", "validate_ms",
                "valid"});
+  int failures = 0;
+  const auto run_row = [&](const std::string& family, const Graph& g,
+                           bench::EngineCaseOptions options) {
+    bench::EngineCaseOutcome outcome;
+    options.threads = threads;
+    options.repeat = repeat;
+    options.outcome = &outcome;
+    bench::engine_scaling_case(family, g, table, json, options);
+    if (repeat > 1 &&
+        (outcome.warm_mismatch || outcome.warm_ms > outcome.cold_ms)) {
+      std::cout << "WARM-RUN REGRESSION: " << family << " n="
+                << g.num_vertices() << " cold_ms=" << outcome.cold_ms
+                << " warm_ms=" << outcome.warm_ms
+                << (outcome.warm_mismatch ? " (WARM/COLD MISMATCH)" : "")
+                << "\n";
+      ++failures;
+    }
+  };
   bench::EngineCaseOptions t1{1, 0, /*validate=*/true};
-  t1.threads = threads;
   std::vector<VertexId> sizes = smoke ? std::vector<VertexId>{100000}
                                       : std::vector<VertexId>{10000, 100000};
   for (const VertexId n : sizes) {
-    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
-                               table, json, t1);
-    bench::engine_scaling_case("ring", make_cycle(n), table, json, t1);
-    bench::engine_scaling_case("rgg-deg8", family_by_name("rgg").make(n, 1),
-                               table, json, t1);
+    run_row("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1), t1);
+    run_row("ring", make_cycle(n), t1);
+    run_row("rgg-deg8", family_by_name("rgg").make(n, 1), t1);
   }
   // Theorems 2 and 3 as engine workloads (the budgeted CI cases): the
   // multistage schedule at the same 100k gnp instance, and the
@@ -101,30 +121,33 @@ void engine_scaling(dsnd::bench::JsonWriter& json, bool smoke,
   // ceil(k)-round phases stay inside the smoke budget.
   {
     const VertexId n = smoke ? 100000 : 10000;
-    bench::EngineCaseOptions t2{2, 0, true};
-    t2.threads = threads;
-    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
-                               table, json, t2);
+    run_row("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+            bench::EngineCaseOptions{2, 0, true});
   }
   {
     const VertexId n = smoke ? 20000 : 5000;
-    bench::EngineCaseOptions t3{3, 3, true};
-    t3.threads = threads;
-    bench::engine_scaling_case("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
-                               table, json, t3);
+    run_row("gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1),
+            bench::EngineCaseOptions{3, 3, true});
   }
   if ((smoke || bench::scale() >= 2) && !no_large) {
     // The million-vertex instances: a ring (worst case for per-round
     // sweeps — long quiet phases) and an RGG (KaGen-style geometric
     // instance). The fast-validation pass over these runs is the
     // acceptance gate for validate_decomposition_fast at engine scale.
-    bench::engine_scaling_case("ring", make_cycle(1000000), table, json,
-                               t1);
-    bench::engine_scaling_case("rgg-deg8",
-                               family_by_name("rgg").make(1000000, 1),
-                               table, json, t1);
+    run_row("ring", make_cycle(1000000), t1);
+    run_row("rgg-deg8", family_by_name("rgg").make(1000000, 1), t1);
+  }
+  if (repeat > 1) {
+    // Barrier-elision A/B: the same ring case with the quiet-round fast
+    // path disabled. The clustering and every count are identical by
+    // contract (only wall time may move); the row lands in the JSON with
+    // "elide_quiet_rounds": 0 so BENCH files carry both sides.
+    bench::EngineCaseOptions ab{1, 0, /*validate=*/true};
+    ab.elide_quiet_rounds = false;
+    run_row("ring", make_cycle(no_large ? 100000 : 1000000), ab);
   }
   table.print(std::cout);
+  return failures;
 }
 
 /// E4d — the pr4 headline: thread scaling of the sharded engine at
@@ -433,10 +456,14 @@ int main(int argc, char** argv) {
   bench::JsonWriter json = bench::JsonWriter::from_args(argc, argv);
   const auto threads = static_cast<unsigned>(
       bench::int_flag(argc, argv, "--threads", 1));
+  // --repeat N (N >= 2): run every engine case N times on one reusable
+  // CarveContext and record cold_ms / warm_ms / warm_speedup; the bench
+  // exits nonzero if any warm run is slower than its cold twin or
+  // diverges from it.
+  const int repeat = bench::int_flag(argc, argv, "--repeat", 1);
   if (bench::has_flag(argc, argv, "--engine-smoke")) {
-    engine_scaling(json, /*smoke=*/true, threads,
-                   bench::has_flag(argc, argv, "--no-large"));
-    return 0;
+    return engine_scaling(json, /*smoke=*/true, threads,
+                          bench::has_flag(argc, argv, "--no-large"), repeat);
   }
   if (bench::has_flag(argc, argv, "--overflow-smoke")) {
     overflow_smoke(json, threads);
@@ -530,6 +557,6 @@ int main(int argc, char** argv) {
   std::cout << "\nThe rounds/ln^2(n) column should hover around a constant "
                "— the O(log^2 n) claim.\n";
 
-  engine_scaling(json, /*smoke=*/false, threads, /*no_large=*/false);
-  return 0;
+  return engine_scaling(json, /*smoke=*/false, threads, /*no_large=*/false,
+                        repeat);
 }

@@ -1,5 +1,8 @@
 #include "decomposition/carve_schedule.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/assert.hpp"
 
 namespace dsnd {
@@ -18,6 +21,20 @@ CarveParams CarveSchedule::params(std::uint64_t seed,
   p.run_to_completion = run_to_completion;
   p.seed = seed;
   return p;
+}
+
+std::size_t CarveSchedule::round_budget(VertexId num_vertices) const {
+  const auto phase_len =
+      static_cast<std::size_t>(std::max(phase_rounds, 0)) + 1;
+  const auto attempts =
+      1 + static_cast<std::size_t>(std::max(max_retries_per_phase, 0));
+  const double bound_rounds = bounds.rounds_with_retries(
+      static_cast<std::int64_t>(attempts * phase_len));
+  const std::size_t overtime =
+      (static_cast<std::size_t>(num_vertices) + betas.size() + 16) *
+      attempts * phase_len;
+  return static_cast<std::size_t>(8.0 * std::max(bound_rounds, 0.0)) +
+         overtime + 64;
 }
 
 DecompositionRun run_schedule(const Graph& g, const CarveSchedule& schedule,

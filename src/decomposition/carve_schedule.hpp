@@ -98,6 +98,16 @@ struct CarveSchedule {
   /// success-event experiments), not part of the schedule itself.
   CarveParams params(std::uint64_t seed, bool run_to_completion = true,
                      double margin = 1.0) const;
+
+  /// The named-failure round budget run_schedule_distributed derives for
+  /// an n-vertex run when EngineOptions::max_rounds is left 0: the
+  /// theorem's whp bound with a full per-phase retry budget, plus
+  /// run-to-completion overtime slack (at worst one carved vertex per
+  /// phase). Generous enough that no legitimate run ever hits it; a run
+  /// that does gets RunStatus::kRoundBudgetExhausted instead of
+  /// spinning. A schedule-level method so a reusable engine/context can
+  /// apply it per run instead of baking it into the engine's options.
+  std::size_t round_budget(VertexId num_vertices) const;
 };
 
 /// Applies an entry point's overflow-recovery knobs to a derived

@@ -45,6 +45,43 @@ double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
   return sample_exponential(rng, beta);
 }
 
+RadiusBatchStats carve_radius_sample_batch(
+    std::uint64_t seed, std::int32_t phase, double beta, std::int32_t retry,
+    std::span<const VertexId> vertices, std::span<const VertexId> names,
+    std::span<double> unit_scratch, std::span<double> radii,
+    double overflow_at) {
+  DSND_REQUIRE(unit_scratch.size() >= vertices.size(),
+               "batch sampling scratch smaller than the vertex batch");
+  const std::uint64_t base =
+      retry == 0 ? seed
+                 : stream_seed(seed, 0, static_cast<std::uint64_t>(retry));
+  const std::uint64_t phase_key = static_cast<std::uint64_t>(phase) + 1;
+  const std::size_t count = vertices.size();
+  // Pass 1: per-vertex stream seeding and the single uniform draw, into
+  // the dense scratch. Each stream is independent, so the loop has no
+  // cross-iteration state — the SplitMix64 seeding and xoshiro rotates
+  // are pure integer lanes a vectorizer can chew on.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::size_t>(vertices[i]);
+    const std::uint64_t key =
+        names.empty() ? static_cast<std::uint64_t>(v)
+                      : static_cast<std::uint64_t>(names[v]);
+    Xoshiro256ss rng(stream_seed(base, phase_key, key + 1));
+    unit_scratch[i] = uniform_unit(rng);
+  }
+  // Pass 2: the inverse-CDF transform, element for element the same call
+  // the scalar sampler makes — bit-identity with the scalar path cannot
+  // drift no matter how pass 1 is scheduled.
+  RadiusBatchStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double r = exponential_inverse_cdf(unit_scratch[i], beta);
+    radii[static_cast<std::size_t>(vertices[i])] = r;
+    if (r > stats.max_radius) stats.max_radius = r;
+    if (r >= overflow_at) stats.overflow = true;
+  }
+  return stats;
+}
+
 namespace {
 
 /// Inserts `candidate` into the (best, second) slots of vertex y,
@@ -167,6 +204,8 @@ CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
 
   std::vector<char> alive(n, 1);
   std::vector<double> radii(n, 0.0);
+  std::vector<double> unit_scratch(n);
+  std::vector<VertexId> live(n);
   VertexId remaining = g.num_vertices();
 
   // Cap runaway loops: even beta close to 0 empties the graph in one
@@ -186,19 +225,20 @@ CarveResult carve_decomposition(const Graph& g, const CarveParams& params) {
     // Las Vegas recarve loop: resample the whole phase (fresh per-retry
     // salt) while Lemma 1's event holds and the budget allows. Both the
     // overflow flag and the reported max come straight from the sampling
-    // loop — not from the (truncated) broadcast state — so logs always
-    // show the event that actually fired.
+    // pass — not from the (truncated) broadcast state — so logs always
+    // show the event that actually fired. The batched sampler draws from
+    // the same per-(seed, phase, v, retry) streams the scalar one does.
+    live.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v]) live.push_back(static_cast<VertexId>(v));
+    }
     for (std::int32_t retry = 0;; ++retry) {
-      bool attempt_overflow = false;
-      for (std::size_t v = 0; v < n; ++v) {
-        if (!alive[v]) continue;
-        radii[v] = carve_radius_sample(params.seed, phase,
-                                       static_cast<VertexId>(v), beta,
-                                       retry);
-        result.max_sampled_radius =
-            std::max(result.max_sampled_radius, radii[v]);
-        if (radii[v] >= params.radius_overflow_at) attempt_overflow = true;
-      }
+      const RadiusBatchStats stats = carve_radius_sample_batch(
+          params.seed, phase, beta, retry, live, /*names=*/{}, unit_scratch,
+          radii, params.radius_overflow_at);
+      result.max_sampled_radius =
+          std::max(result.max_sampled_radius, stats.max_radius);
+      const bool attempt_overflow = stats.overflow;
       if (attempt_overflow &&
           params.overflow_policy == OverflowPolicy::kRetry &&
           retry < params.max_retries_per_phase) {

@@ -19,8 +19,10 @@
 // agree bit-for-bit on the same seed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "decomposition/partition.hpp"
@@ -183,6 +185,38 @@ struct CarveResult {
 /// never correlate with their replacements.
 double carve_radius_sample(std::uint64_t seed, std::int32_t phase,
                            VertexId v, double beta, std::int32_t retry = 0);
+
+/// What a batched sampling pass observed: the fold both backends feed
+/// into CarveResult::max_sampled_radius and the Lemma 1 overflow event.
+/// Combining per-chunk stats (max / OR) is order-independent, so
+/// chunk-parallel batches report identical stats for every chunking.
+struct RadiusBatchStats {
+  double max_radius = 0.0;
+  bool overflow = false;  // some sampled radius >= overflow_at
+
+  void merge(const RadiusBatchStats& other) {
+    max_radius = std::max(max_radius, other.max_radius);
+    overflow = overflow || other.overflow;
+  }
+};
+
+/// Batched twin of carve_radius_sample: fills radii[v] for every v in
+/// `vertices` (radii is indexed by vertex id; entries of vertices not
+/// listed are untouched) and returns the max/overflow fold. Each value
+/// is drawn from the IDENTICAL per-(seed, phase, name, retry) stream the
+/// scalar sampler uses — `names` maps vertex ids to the stream key
+/// (empty = identity; layout runs pass the original ids) — so the
+/// batched and scalar paths are bit-for-bit equal (pinned by test).
+/// Two passes: stream seeding + the uniform draw into `unit_scratch`
+/// (which must hold at least vertices.size() doubles), then the
+/// log1p transform over the dense scratch — the same inverse-CDF call
+/// as the scalar path, element for element, so vectorizing the first
+/// pass can never change a bit of the second.
+RadiusBatchStats carve_radius_sample_batch(
+    std::uint64_t seed, std::int32_t phase, double beta, std::int32_t retry,
+    std::span<const VertexId> vertices, std::span<const VertexId> names,
+    std::span<double> unit_scratch, std::span<double> radii,
+    double overflow_at);
 
 /// Runs one phase over the vertices with alive[v] != 0. Returns for every
 /// vertex its top-2 entries after `phase_rounds` rounds of truncated

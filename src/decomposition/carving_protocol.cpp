@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "decomposition/validation.hpp"
@@ -36,6 +38,11 @@ class CarvingProtocol final : public Protocol {
                   std::span<const VertexId> names)
       : params_(params), names_(names) {}
 
+  /// Rebinds the run parameters so one protocol object (and its warmed
+  /// per-vertex arrays) serves many runs — the verify-and-recover loop's
+  /// salted attempts and every CarveContext warm re-run go through here.
+  void set_params(const CarveParams& params) { params_ = params; }
+
   void begin(const Graph& g) override {
     const auto n = static_cast<std::size_t>(g.num_vertices());
     DSND_REQUIRE(names_.empty() || names_.size() == n,
@@ -48,19 +55,30 @@ class CarvingProtocol final : public Protocol {
     sent_second_.assign(n, CarveEntry{});
     chosen_center_.assign(n, -1);
     chosen_phase_.assign(n, -1);
+    radii_.resize(n);
+    unit_scratch_.resize(n);
+    live_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      live_[v] = static_cast<VertexId>(v);
+    }
+    live_dirty_ = false;
     phase_ = 0;
     step_ = 0;
     retry_ = 0;
     retries_total_ = 0;
     abort_attempt_ = false;
     accepted_overflow_ = false;
+    sampled_overflow_ = false;
+    max_sampled_radius_ = 0.0;
     workers_ = 1;
     accum_.reset(1);
+    chunk_stats_.assign(1, RadiusBatchStats{});
   }
 
   void begin_workers(unsigned workers) override {
     workers_ = workers == 0 ? 1 : workers;
     accum_.reset(workers);
+    chunk_stats_.assign(workers_, RadiusBatchStats{});
   }
 
   // The shared round plan. The engine's global round counter no longer
@@ -73,43 +91,50 @@ class CarvingProtocol final : public Protocol {
   // detect-and-retry), which is why an aborted attempt is billed one
   // full phase of rounds rather than restarting the moment the bit is
   // known.
-  void on_round_begin(std::size_t round) override {
-    if (round == 0) return;  // begin() set up attempt (phase 0, retry 0)
-    if (step_ == 0) {
-      // The sampling round just ran: fold the per-worker overflow bits
-      // and fix this attempt's fate before any joining can happen.
-      bool attempt_overflow = false;
-      for (unsigned w = 0; w < workers_; ++w) {
-        attempt_overflow = attempt_overflow || accum_[w].attempt_overflow;
-        accum_[w].attempt_overflow = false;
+  void on_round_begin(std::size_t round, RoundPool& pool) override {
+    if (round > 0) {
+      if (step_ == 0) {
+        // The sampling round just ran: fix this attempt's fate from the
+        // overflow bit the batched sampler folded, before any joining
+        // can happen.
+        abort_attempt_ = sampled_overflow_ &&
+                         params_.overflow_policy == OverflowPolicy::kRetry &&
+                         retry_ < params_.max_retries_per_phase;
+        if (sampled_overflow_ && !abort_attempt_) {
+          // Truncated samples are being accepted (kTruncate, or a blown
+          // retry budget): the output loses its validity certificate.
+          accepted_overflow_ = true;
+        }
+        step_ = 1;
+        return;
       }
-      abort_attempt_ = attempt_overflow &&
-                       params_.overflow_policy == OverflowPolicy::kRetry &&
-                       retry_ < params_.max_retries_per_phase;
-      if (attempt_overflow && !abort_attempt_) {
-        // Truncated samples are being accepted (kTruncate, or a blown
-        // retry budget): the output loses its validity certificate.
-        accepted_overflow_ = true;
+      if (step_ < params_.phase_rounds) {
+        ++step_;
+        return;
       }
-      step_ = 1;
-      return;
+      // The deciding step just ran: start the next attempt — a salted
+      // replay of the same phase if this one was aborted, phase t+1
+      // otherwise.
+      if (abort_attempt_) {
+        ++retry_;
+        ++retries_total_;
+      } else {
+        ++phase_;
+        retry_ = 0;
+        // Joiners left the live set; compact it lazily at the next
+        // sampling pass (a replayed attempt keeps the set unchanged).
+        live_dirty_ = true;
+      }
+      step_ = 0;
+      abort_attempt_ = false;
     }
-    if (step_ < params_.phase_rounds) {
-      ++step_;
-      return;
-    }
-    // The deciding step just ran: start the next attempt — a salted
-    // replay of the same phase if this one was aborted, phase t+1
-    // otherwise.
-    if (abort_attempt_) {
-      ++retry_;
-      ++retries_total_;
-    } else {
-      ++phase_;
-      retry_ = 0;
-    }
-    step_ = 0;
-    abort_attempt_ = false;
+    // The round about to run is an attempt's sampling step (round 0
+    // included): batch-fill the live radii chunk-parallel on the parked
+    // pool. Every value comes from the same per-(seed, phase, name,
+    // retry) stream the scalar sampler draws, and the max/overflow fold
+    // over chunks is order-independent, so the round's outputs are
+    // bit-identical to per-vertex sampling for every worker count.
+    if (step_ == 0) sample_attempt(pool);
   }
 
   void on_round(VertexId v, std::size_t /*round*/,
@@ -122,14 +147,9 @@ class CarvingProtocol final : public Protocol {
       // Instrumentation only: the worker remembers the deepest phase any
       // of its vertices reached; the fold takes the max.
       accum.phases_used = std::max(accum.phases_used, phase_ + 1);
-      const double beta =
-          phase_ < static_cast<std::int32_t>(params_.betas.size())
-              ? params_.betas[static_cast<std::size_t>(phase_)]
-              : params_.betas.back();
-      const double r =
-          carve_radius_sample(params_.seed, phase_, name(v), beta, retry_);
-      if (r >= params_.radius_overflow_at) accum.attempt_overflow = true;
-      accum.max_sampled_radius = std::max(accum.max_sampled_radius, r);
+      // The radius was batch-sampled by on_round_begin (sample_attempt);
+      // the vertex just reads its slot.
+      const double r = radii_[vi];
       best_[vi] = CarveEntry{r, 0, name(v)};
       second_[vi] = CarveEntry{};
       sent_best_[vi] = CarveEntry{};
@@ -194,10 +214,7 @@ class CarvingProtocol final : public Protocol {
     result.exhausted_within_target =
         remaining() == 0 && phases_used <= result.target_phases;
     result.radius_overflow = accepted_overflow_;
-    result.max_sampled_radius = accum_.fold(
-        0.0, [](double acc, const Accum& a) {
-          return std::max(acc, a.max_sampled_radius);
-        });
+    result.max_sampled_radius = max_sampled_radius_;
     const auto phase_len =
         static_cast<std::int64_t>(params_.phase_rounds) + 1;
     result.retries = retries_total_;
@@ -263,19 +280,53 @@ class CarvingProtocol final : public Protocol {
 
  private:
   /// Per-worker aggregate slice; all fields monotone under the fold, so
-  /// totals are independent of which worker ran which vertex.
-  /// attempt_overflow is the one exception: it is per-attempt, written
-  /// during the sampling round and folded-and-cleared by the serial
-  /// on_round_begin hook before the next round runs.
+  /// totals are independent of which worker ran which vertex. (The
+  /// overflow bit and radius max moved out: they are folded serially by
+  /// the batched sampler in on_round_begin, which owns sampling now.)
   struct Accum {
     VertexId carved = 0;
     std::int32_t phases_used = 0;
-    double max_sampled_radius = 0.0;
-    bool attempt_overflow = false;
   };
 
   VertexId name(VertexId v) const {
     return names_.empty() ? v : names_[static_cast<std::size_t>(v)];
+  }
+
+  /// Fills radii_ for every live vertex for attempt (phase_, retry_) in
+  /// one chunk-parallel batched pass and folds the Lemma 1 overflow bit
+  /// and the radius max. Runs on the serial pre-round hook, so the live
+  /// list (compacted here after a phase advance — alive_ flips happened
+  /// under the previous round's barrier) and the per-chunk stats need no
+  /// synchronization.
+  void sample_attempt(RoundPool& pool) {
+    if (live_dirty_) {
+      live_.erase(std::remove_if(live_.begin(), live_.end(),
+                                 [&](VertexId v) {
+                                   return alive_[static_cast<std::size_t>(
+                                              v)] == 0;
+                                 }),
+                  live_.end());
+      live_dirty_ = false;
+    }
+    const double beta =
+        phase_ < static_cast<std::int32_t>(params_.betas.size())
+            ? params_.betas[static_cast<std::size_t>(phase_)]
+            : params_.betas.back();
+    for (RadiusBatchStats& stats : chunk_stats_) stats = RadiusBatchStats{};
+    const std::span<const VertexId> live(live_);
+    const std::span<double> scratch(unit_scratch_);
+    pool.for_chunks(live_.size(), [&](std::size_t chunk_begin,
+                                      std::size_t chunk_end, unsigned w) {
+      chunk_stats_[w] = carve_radius_sample_batch(
+          params_.seed, phase_, beta, retry_,
+          live.subspan(chunk_begin, chunk_end - chunk_begin), names_,
+          scratch.subspan(chunk_begin, chunk_end - chunk_begin), radii_,
+          params_.radius_overflow_at);
+    });
+    RadiusBatchStats stats;
+    for (const RadiusBatchStats& chunk : chunk_stats_) stats.merge(chunk);
+    sampled_overflow_ = stats.overflow;
+    max_sampled_radius_ = std::max(max_sampled_radius_, stats.max_radius);
   }
 
   void merge(std::size_t vi, const CarveEntry& entry) {
@@ -333,7 +384,7 @@ class CarvingProtocol final : public Protocol {
     sent_second_[vi] = second_[vi];
   }
 
-  const CarveParams params_;
+  CarveParams params_;  // rebound between runs via set_params
   const std::span<const VertexId> names_;
   const Graph* graph_ = nullptr;
   // Shared round plan, advanced only by the serial on_round_begin hook
@@ -345,8 +396,17 @@ class CarvingProtocol final : public Protocol {
   std::int32_t retries_total_ = 0;
   bool abort_attempt_ = false;
   bool accepted_overflow_ = false;
+  // Fold of the batched sampling passes (serial state: sampling happens
+  // in the pre-round hook).
+  bool sampled_overflow_ = false;
+  double max_sampled_radius_ = 0.0;
+  bool live_dirty_ = false;
   unsigned workers_ = 1;
   std::vector<char> alive_;
+  std::vector<double> radii_;
+  std::vector<double> unit_scratch_;
+  std::vector<VertexId> live_;
+  std::vector<RadiusBatchStats> chunk_stats_;
   std::vector<CarveEntry> best_;
   std::vector<CarveEntry> second_;
   std::vector<CarveEntry> sent_best_;
@@ -356,12 +416,17 @@ class CarvingProtocol final : public Protocol {
   PerWorker<Accum> accum_;
 };
 
-}  // namespace
-
-DistributedCarveResult carve_decomposition_distributed(
-    const Graph& g, const CarveParams& params,
-    const EngineOptions& engine_options,
-    std::span<const VertexId> vertex_names) {
+/// One engine run of the protocol with `params`. The shared core behind
+/// the cold Graph overload and the warm CarveContext path: rebinds the
+/// protocol's parameters, derives the safety round cap, and names the
+/// outcome. `round_cap` (0 = none) additionally bounds the run — the
+/// schedule-level budget a reusable engine applies per run instead of
+/// baking it into EngineOptions::max_rounds.
+DistributedCarveResult run_carve_attempt(SyncEngine& engine,
+                                         CarvingProtocol& protocol,
+                                         const CarveParams& params,
+                                         std::size_t round_cap) {
+  const Graph& g = engine.graph();
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
   DSND_REQUIRE(!params.betas.empty(), "carve schedule must be nonempty");
   DSND_REQUIRE(params.phase_rounds >= 1, "need at least one broadcast round");
@@ -374,18 +439,18 @@ DistributedCarveResult carve_decomposition_distributed(
   DSND_REQUIRE(params.run_to_completion,
                "the distributed protocol always carves to completion");
 
-  CarvingProtocol protocol(params, vertex_names);
-  SyncEngine engine(g, engine_options);
+  protocol.set_params(params);
   // Safety cap only (the run stops at exhaustion): every phase may
   // additionally be replayed up to max_retries_per_phase times under the
   // Las Vegas recarve loop, so the attempt budget scales with it.
   const std::size_t attempts_per_phase =
       1 + static_cast<std::size_t>(std::max(params.max_retries_per_phase, 0));
-  const std::size_t max_rounds =
+  std::size_t max_rounds =
       (params.betas.size() * 8 + static_cast<std::size_t>(g.num_vertices()) +
        64) *
       attempts_per_phase *
       (static_cast<std::size_t>(params.phase_rounds) + 1);
+  if (round_cap != 0) max_rounds = std::min(max_rounds, round_cap);
   DistributedCarveResult result;
   result.sim = engine.run(protocol, max_rounds);
   if (protocol.remaining() != 0) {
@@ -394,9 +459,8 @@ DistributedCarveResult carve_decomposition_distributed(
     // transport it is an expected outcome (dropped traffic stalled the
     // carve, or the round budget named the hang), reported as a status
     // for the verify-and-recover loop to act on.
-    const bool lossy = engine_options.transport != nullptr &&
-                       engine_options.transport->lossy();
-    DSND_CHECK(lossy, "distributed carving failed to exhaust the graph");
+    DSND_CHECK(engine.transport().lossy(),
+               "distributed carving failed to exhaust the graph");
     result.carve = protocol.build_result();
     result.carve.status = result.sim.status == RunStatus::kQuiescent
                               ? CarveStatus::kStalled
@@ -408,13 +472,11 @@ DistributedCarveResult carve_decomposition_distributed(
   return result;
 }
 
-namespace {
-
-/// Shared driver behind both run_schedule_distributed overloads.
-/// `engine_graph` is what the protocol runs on (possibly relabeled);
-/// `original_graph` is what the emitted clustering is keyed to and what
-/// faulted attempts are validated against; `vertex_names` translates
-/// between the two (empty = identity).
+/// Shared driver behind every run_schedule_distributed overload, running
+/// on a (possibly reused) engine + protocol pair. `original_graph` is
+/// what the emitted clustering is keyed to and what faulted attempts are
+/// validated against (the protocol's name map translates; identity for
+/// unrelabeled runs).
 ///
 /// Reliable transports take the single-attempt fast path unchanged.
 /// Lossy transports get the verify-and-recover loop: every attempt that
@@ -424,36 +486,22 @@ namespace {
 /// from the a = 0 channel PR 5's per-phase resamples use — up to
 /// schedule.max_run_retries times. The result is the never-silently-
 /// invalid contract: kOk means externally validated, anything else is a
-/// named failure with its fault accounting attached.
-DistributedRun run_schedule_distributed_impl(
-    const Graph& engine_graph, const Graph& original_graph,
-    std::span<const VertexId> vertex_names, const CarveSchedule& schedule,
-    std::uint64_t seed, const EngineOptions& engine_options) {
-  EngineOptions options = engine_options;
-  const bool lossy =
-      options.transport != nullptr && options.transport->lossy();
-  if (options.max_rounds == 0) {
-    // Derive the named-failure round budget from what the schedule
-    // promises: the theorem's whp bound with a full per-phase retry
-    // budget, plus run-to-completion overtime slack (at worst one carved
-    // vertex per phase). Generous enough that no legitimate run ever
-    // hits it; a run that does gets RunStatus::kRoundBudgetExhausted
-    // instead of spinning.
-    const auto phase_len =
-        static_cast<std::size_t>(std::max(schedule.phase_rounds, 0)) + 1;
-    const auto attempts =
-        1 + static_cast<std::size_t>(
-                std::max(schedule.max_retries_per_phase, 0));
-    const double bound_rounds = schedule.bounds.rounds_with_retries(
-        static_cast<std::int64_t>(attempts * phase_len));
-    const std::size_t overtime =
-        (static_cast<std::size_t>(engine_graph.num_vertices()) +
-         schedule.betas.size() + 16) *
-        attempts * phase_len;
-    options.max_rounds =
-        static_cast<std::size_t>(8.0 * std::max(bound_rounds, 0.0)) +
-        overtime + 64;
-  }
+/// named failure with its fault accounting attached. Attempt 2..N reuse
+/// the engine's pool and arenas outright — the warm path the retry loop
+/// always deserved.
+DistributedRun run_schedule_distributed_with(SyncEngine& engine,
+                                             CarvingProtocol& protocol,
+                                             const Graph& original_graph,
+                                             const CarveSchedule& schedule,
+                                             std::uint64_t seed) {
+  const bool lossy = engine.transport().lossy();
+  // The schedule-derived named-failure budget applies only when the
+  // caller left EngineOptions::max_rounds at 0 (same precedence the
+  // pre-context code implemented by rewriting the options).
+  const std::size_t schedule_cap =
+      engine.options().max_rounds == 0
+          ? schedule.round_budget(engine.graph().num_vertices())
+          : 0;
 
   const std::int32_t run_budget =
       lossy ? std::max(schedule.max_run_retries, 0) : 0;
@@ -464,8 +512,8 @@ DistributedRun run_schedule_distributed_impl(
         attempt == 0
             ? seed
             : stream_seed(seed, 1, static_cast<std::uint64_t>(attempt));
-    DistributedCarveResult result = carve_decomposition_distributed(
-        engine_graph, schedule.params(attempt_seed), options, vertex_names);
+    DistributedCarveResult result = run_carve_attempt(
+        engine, protocol, schedule.params(attempt_seed), schedule_cap);
     total_faults += result.sim.faults;
     run.sim = result.sim;
     run.run.carve = std::move(result.carve);
@@ -497,32 +545,90 @@ DistributedRun run_schedule_distributed_impl(
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// CarveContext
+// ---------------------------------------------------------------------------
+
+struct CarveContext::Impl {
+  // Reconstructed original graph for lossy layout runs (validation is
+  // keyed to original ids); otherwise original_graph borrows the input.
+  std::optional<Graph> original_storage;
+  const Graph* original_graph = nullptr;
+  SyncEngine engine;
+  CarvingProtocol protocol;
+
+  Impl(const Graph& engine_graph, const EngineOptions& options,
+       std::span<const VertexId> names)
+      : engine(engine_graph, options), protocol(CarveParams{}, names) {}
+};
+
+CarveContext::CarveContext(const Graph& g, const EngineOptions& options)
+    : impl_(std::make_unique<Impl>(g, options,
+                                   std::span<const VertexId>{})) {
+  impl_->original_graph = &g;
+}
+
+CarveContext::CarveContext(const LayoutGraph& lg, const EngineOptions& options)
+    : impl_(std::make_unique<Impl>(lg.graph, options, lg.layout.to_old)) {
+  if (impl_->engine.transport().lossy()) {
+    // Faulted attempts are validated against the ORIGINAL graph (the
+    // clustering is keyed to original ids). LayoutGraph does not carry
+    // it, so reconstruct it by undoing the relabeling — paid once per
+    // context, and only on the lossy path.
+    impl_->original_storage.emplace(
+        apply_layout(lg.graph, lg.layout.inverse()));
+    impl_->original_graph = &*impl_->original_storage;
+  } else {
+    impl_->original_graph = &lg.graph;
+  }
+}
+
+CarveContext::~CarveContext() = default;
+
+SyncEngine& CarveContext::engine() { return impl_->engine; }
+const SyncEngine& CarveContext::engine() const { return impl_->engine; }
+
+DistributedCarveResult carve_decomposition_distributed(
+    CarveContext& context, const CarveParams& params) {
+  return run_carve_attempt(context.impl_->engine, context.impl_->protocol,
+                           params, /*round_cap=*/0);
+}
+
+DistributedRun run_schedule_distributed(CarveContext& context,
+                                        const CarveSchedule& schedule,
+                                        std::uint64_t seed) {
+  return run_schedule_distributed_with(
+      context.impl_->engine, context.impl_->protocol,
+      *context.impl_->original_graph, schedule, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Context-free overloads (cold path: one engine per call)
+// ---------------------------------------------------------------------------
+
+DistributedCarveResult carve_decomposition_distributed(
+    const Graph& g, const CarveParams& params,
+    const EngineOptions& engine_options,
+    std::span<const VertexId> vertex_names) {
+  SyncEngine engine(g, engine_options);
+  CarvingProtocol protocol(params, vertex_names);
+  return run_carve_attempt(engine, protocol, params, /*round_cap=*/0);
+}
+
 DistributedRun run_schedule_distributed(const Graph& g,
                                         const CarveSchedule& schedule,
                                         std::uint64_t seed,
                                         const EngineOptions& engine_options) {
-  return run_schedule_distributed_impl(g, g, {}, schedule, seed,
-                                       engine_options);
+  CarveContext context(g, engine_options);
+  return run_schedule_distributed(context, schedule, seed);
 }
 
 DistributedRun run_schedule_distributed(const LayoutGraph& lg,
                                         const CarveSchedule& schedule,
                                         std::uint64_t seed,
                                         const EngineOptions& engine_options) {
-  const bool lossy = engine_options.transport != nullptr &&
-                     engine_options.transport->lossy();
-  if (!lossy) {
-    return run_schedule_distributed_impl(lg.graph, lg.graph,
-                                         lg.layout.to_old, schedule, seed,
-                                         engine_options);
-  }
-  // Faulted attempts are validated against the ORIGINAL graph (the
-  // clustering is keyed to original ids). LayoutGraph does not carry it,
-  // so reconstruct it by undoing the relabeling — paid only on the lossy
-  // path.
-  const Graph original = apply_layout(lg.graph, lg.layout.inverse());
-  return run_schedule_distributed_impl(lg.graph, original, lg.layout.to_old,
-                                       schedule, seed, engine_options);
+  CarveContext context(lg, engine_options);
+  return run_schedule_distributed(context, schedule, seed);
 }
 
 }  // namespace dsnd

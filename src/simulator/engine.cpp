@@ -1,11 +1,25 @@
 #include "simulator/engine.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "support/assert.hpp"
+
+namespace {
+
+// Cap on the per-round metric reservations: safety-cap round budgets can
+// be astronomically large (attempt-scaled n-proportional bounds at 10M
+// vertices), and reserving them literally would dwarf the run itself.
+// 64k rounds covers every real schedule by orders of magnitude; a run
+// that legitimately outlives it merely amortizes a few regrowths.
+constexpr std::size_t kRoundReserveCap = std::size_t{1} << 16;
+
+// On an elided quiet round the collect stage only fires wakes and
+// maintains active lists; below this many executed vertices that is
+// cheaper inline than waking the pool for a barrier.
+constexpr std::size_t kSerialQuietCollect = 2048;
+
+}  // namespace
 
 namespace dsnd {
 
@@ -115,6 +129,7 @@ SyncEngine::SyncEngine(const Graph& g, EngineOptions options)
     }
   }
   worker_errors_.resize(workers_);
+  if (workers_ > 1) pool_.emplace(workers_);
 }
 
 void SyncEngine::reset(Protocol& protocol) {
@@ -123,6 +138,7 @@ void SyncEngine::reset(Protocol& protocol) {
   current_round_ = 0;
   metrics_ = SimMetrics{};
   round_messages_.clear();
+  round_faults_.clear();
 
   for (auto& parity : staging_) {
     for (detail::SendStaging& staging : parity) staging.clear_round();
@@ -198,7 +214,7 @@ void SyncEngine::ring_insert(detail::Shard& shard, const std::uint64_t target,
   ++shard.pending_wakes;
 }
 
-void SyncEngine::collect_shard(unsigned s, unsigned parity) {
+void SyncEngine::collect_shard(unsigned s, unsigned parity, bool deliver) {
   detail::Shard& shard = shards_[s];
 
   // The inbox index consumed this round is dead; zero its slots so the
@@ -208,53 +224,58 @@ void SyncEngine::collect_shard(unsigned s, unsigned parity) {
   }
   shard.touched.clear();
 
-  // Pass 1 over the slices the transport delivered to this shard:
-  // per-receiver counts and this shard's slice of the message metrics
-  // (what was RECEIVED — a lossy transport's drops are billed in the
-  // fault counters, not here).
-  const std::span<const TransportSlice> delivered = transport_->delivery(s);
-  std::uint64_t messages = 0;
-  std::uint64_t word_total = 0;
-  std::size_t max_words = 0;
-  for (const TransportSlice& slice : delivered) {
-    messages += slice.headers.size();
-    for (const detail::MsgHeader& h : slice.headers) {
-      word_total += h.length;
-      if (h.length > max_words) max_words = h.length;
-      std::uint32_t& count = inbox_count_[static_cast<std::size_t>(h.to)];
-      if (count == 0) shard.touched.push_back(h.to);
-      ++count;
+  if (deliver) {
+    // Pass 1 over the slices the transport delivered to this shard:
+    // per-receiver counts and this shard's slice of the message metrics
+    // (what was RECEIVED — a lossy transport's drops are billed in the
+    // fault counters, not here).
+    const std::span<const TransportSlice> delivered = transport_->delivery(s);
+    std::uint64_t messages = 0;
+    std::uint64_t word_total = 0;
+    std::size_t max_words = 0;
+    for (const TransportSlice& slice : delivered) {
+      messages += slice.headers.size();
+      for (const detail::MsgHeader& h : slice.headers) {
+        word_total += h.length;
+        if (h.length > max_words) max_words = h.length;
+        std::uint32_t& count = inbox_count_[static_cast<std::size_t>(h.to)];
+        if (count == 0) shard.touched.push_back(h.to);
+        ++count;
+      }
+    }
+    shard.round_messages = messages;
+    shard.round_words = word_total;
+    shard.round_max_words = max_words;
+
+    // Pass 2: CSR offsets for the touched receivers only — a quiet round
+    // costs O(active + messages), never O(n).
+    std::size_t running = 0;
+    for (const VertexId to : shard.touched) {
+      const auto ti = static_cast<std::size_t>(to);
+      inbox_begin_[ti] = running;
+      inbox_fill_[ti] = running;
+      inbox_len_[ti] = inbox_count_[ti];
+      running += inbox_count_[ti];
+      inbox_count_[ti] = 0;
+    }
+
+    // Pass 3: stable counting-sort scatter by receiver. The transport
+    // guarantees scanning its slices in order yields every receiver's
+    // inbox in a shard-count-invariant order (the reliable transport's
+    // slices are the source buckets in worker order — the serial
+    // vertex-order send sequence). Views alias the delivering arenas
+    // directly — payload words are never copied again.
+    shard.inbox_views.resize(messages);
+    for (const TransportSlice& slice : delivered) {
+      for (const detail::MsgHeader& h : slice.headers) {
+        shard.inbox_views[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
+            MessageView{h.from, {slice.words + h.word_begin, h.length}};
+      }
     }
   }
-  shard.round_messages = messages;
-  shard.round_words = word_total;
-  shard.round_max_words = max_words;
-
-  // Pass 2: CSR offsets for the touched receivers only — a quiet round
-  // costs O(active + messages), never O(n).
-  std::size_t running = 0;
-  for (const VertexId to : shard.touched) {
-    const auto ti = static_cast<std::size_t>(to);
-    inbox_begin_[ti] = running;
-    inbox_fill_[ti] = running;
-    inbox_len_[ti] = inbox_count_[ti];
-    running += inbox_count_[ti];
-    inbox_count_[ti] = 0;
-  }
-
-  // Pass 3: stable counting-sort scatter by receiver. The transport
-  // guarantees scanning its slices in order yields every receiver's
-  // inbox in a shard-count-invariant order (the reliable transport's
-  // slices are the source buckets in worker order — the serial
-  // vertex-order send sequence). Views alias the delivering arenas
-  // directly — payload words are never copied again.
-  shard.inbox_views.resize(messages);
-  for (const TransportSlice& slice : delivered) {
-    for (const detail::MsgHeader& h : slice.headers) {
-      shard.inbox_views[inbox_fill_[static_cast<std::size_t>(h.to)]++] =
-          MessageView{h.from, {slice.words + h.word_begin, h.length}};
-    }
-  }
+  // Elided quiet rounds (!deliver) skip the transport reads outright:
+  // nothing was exchanged, so delivery is empty by construction and the
+  // round accumulators keep the zeros the roll-up left them with.
 
   // Wake requests into the shard's calendar — read from the RAW staging
   // buckets, not the transport's delivery: self-wakes are local timers,
@@ -311,25 +332,28 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
   protocol.begin(graph_);
   protocol.begin_workers(workers_);
 
-  // Worker pool for the duration of this run (workers_ > 1 only). Each
-  // round is two dispatched stages — execute then collect — with the
-  // main thread driving shard 0 and the roll-up between rounds.
-  std::mutex mutex;
-  std::condition_variable cv_start;
-  std::condition_variable cv_done;
-  std::uint64_t generation = 0;
-  unsigned outstanding = 0;
-  bool stop = false;
-  bool collect_stage = false;
-  bool stage_use_active = false;
-  unsigned stage_parity = 0;
-  std::vector<std::thread> pool;
+  const std::size_t round_budget =
+      options_.max_rounds == 0 ? max_rounds
+                               : std::min(max_rounds, options_.max_rounds);
+  const bool lossy = transport_->lossy();
+  // Reserve the per-round series up to the effective budget (capped —
+  // see kRoundReserveCap) so the round loop never reallocates mid-run;
+  // the capacity persists across runs like every other engine buffer.
+  const std::size_t reserve_rounds = std::min(round_budget, kRoundReserveCap);
+  round_messages_.reserve(reserve_rounds);
+  if (lossy) round_faults_.reserve(reserve_rounds);
+
+  // Rounds with workers_ > 1 dispatch their stages on the persistent
+  // parked pool — the main thread drives shard 0, the exchange, and the
+  // roll-up, exactly as the per-run pool used to, minus the per-run
+  // thread spawn/join and the condvar double-barrier per stage.
+  RoundPool round_pool(pool_.has_value() ? &*pool_ : nullptr);
 
   const auto run_stage = [&](unsigned s, bool collect, unsigned parity,
-                             bool use_active) {
+                             bool use_active, bool deliver) {
     try {
       if (collect) {
-        collect_shard(s, parity);
+        collect_shard(s, parity, deliver);
       } else {
         execute_shard(protocol, s, parity, use_active);
       }
@@ -338,68 +362,6 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
     }
   };
 
-  const auto dispatch = [&](bool collect, unsigned parity, bool use_active) {
-    {
-      const std::scoped_lock lock(mutex);
-      collect_stage = collect;
-      stage_parity = parity;
-      stage_use_active = use_active;
-      outstanding = workers_ - 1;
-      ++generation;
-    }
-    cv_start.notify_all();
-    run_stage(0, collect, parity, use_active);
-    {
-      std::unique_lock lock(mutex);
-      cv_done.wait(lock, [&] { return outstanding == 0; });
-    }
-  };
-
-  if (workers_ > 1) {
-    for (unsigned w = 1; w < workers_; ++w) {
-      pool.emplace_back([&, w] {
-        std::uint64_t seen = 0;
-        while (true) {
-          bool collect;
-          bool use_active;
-          unsigned parity;
-          {
-            std::unique_lock lock(mutex);
-            cv_start.wait(lock, [&] { return stop || generation != seen; });
-            if (stop) return;
-            seen = generation;
-            collect = collect_stage;
-            parity = stage_parity;
-            use_active = stage_use_active;
-          }
-          run_stage(w, collect, parity, use_active);
-          {
-            const std::scoped_lock lock(mutex);
-            if (--outstanding == 0) cv_done.notify_one();
-          }
-        }
-      });
-    }
-  }
-  struct PoolGuard {
-    std::mutex& mutex;
-    std::condition_variable& cv_start;
-    bool& stop;
-    std::vector<std::thread>& pool;
-    ~PoolGuard() {
-      {
-        const std::scoped_lock lock(mutex);
-        stop = true;
-      }
-      cv_start.notify_all();
-      for (std::thread& t : pool) t.join();
-    }
-  } pool_guard{mutex, cv_start, stop, pool};
-
-  const std::size_t round_budget =
-      options_.max_rounds == 0 ? max_rounds
-                               : std::min(max_rounds, options_.max_rounds);
-  const bool lossy = transport_->lossy();
   bool quiescent = false;
   while (current_round_ < round_budget && !protocol.finished()) {
     const bool use_active = scheduled_ && current_round_ > 0;
@@ -423,10 +385,16 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
     metrics_.vertex_activations += total;
     // Serial pre-round hook: workers are parked (or not yet dispatched),
     // so the protocol may fold per-worker accumulators and advance any
-    // shared round-plan state race-free.
-    protocol.on_round_begin(current_round_);
+    // shared round-plan state race-free; round_pool lets it fan bulk
+    // fills across the parked workers before the round proper starts.
+    protocol.on_round_begin(current_round_, round_pool);
 
     const auto parity = static_cast<unsigned>(current_round_ & 1);
+    // Set after the execute stage: a quiet round — nothing staged,
+    // nothing in flight in the transport — skips exchange+deliver
+    // outright (and, in the parallel path, usually the collect barrier
+    // with it).
+    bool deliver = true;
     if (workers_ == 1 || total < 2) {
       // Serial path (also the tiny-round fast path): every shard's
       // staging is cleared, all vertices run into worker slot 0's
@@ -450,15 +418,40 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
           }
         }
       }
-      transport_->exchange(current_round_, staging_[parity]);
-      for (unsigned s = 0; s < workers_; ++s) collect_shard(s, parity);
+      deliver = !options_.elide_quiet_rounds ||
+                detail::staged_message_count(staging_[parity]) > 0 ||
+                transport_->pending() > 0;
+      if (deliver) transport_->exchange(current_round_, staging_[parity]);
+      for (unsigned s = 0; s < workers_; ++s) {
+        collect_shard(s, parity, deliver);
+      }
     } else {
-      dispatch(/*collect=*/false, parity, use_active);
-      // The exchange runs serially between the two stages: workers are
-      // parked, so the transport may inspect every staging bucket (and
-      // mutate its own delivery buffers) race-free.
-      transport_->exchange(current_round_, staging_[parity]);
-      dispatch(/*collect=*/true, parity, use_active);
+      pool_->run([&](unsigned s) {
+        run_stage(s, /*collect=*/false, parity, use_active, true);
+      });
+      deliver = !options_.elide_quiet_rounds ||
+                detail::staged_message_count(staging_[parity]) > 0 ||
+                transport_->pending() > 0;
+      if (deliver) {
+        // The exchange runs serially between the two stages: workers are
+        // parked, so the transport may inspect every staging bucket (and
+        // mutate its own delivery buffers) race-free.
+        transport_->exchange(current_round_, staging_[parity]);
+        pool_->run([&](unsigned s) {
+          run_stage(s, /*collect=*/true, parity, use_active, true);
+        });
+      } else if (total <= kSerialQuietCollect) {
+        // Quiet round, small active set: the collect stage is only wake
+        // firing and active-list upkeep, so running it inline elides the
+        // second barrier entirely.
+        for (unsigned s = 0; s < workers_; ++s) {
+          run_stage(s, /*collect=*/true, parity, use_active, false);
+        }
+      } else {
+        pool_->run([&](unsigned s) {
+          run_stage(s, /*collect=*/true, parity, use_active, false);
+        });
+      }
       for (std::exception_ptr& error : worker_errors_) {
         if (error) {
           const std::exception_ptr rethrown = error;
@@ -487,10 +480,13 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
     if (lossy) {
       // Fault accounting only on lossy transports: reliable runs keep
       // their zero-allocation steady state (faults_per_round stays
-      // empty) and their bit-identical metrics.
-      const FaultCounters faults = transport_->round_faults();
+      // empty) and their bit-identical metrics. A skipped exchange
+      // injected nothing, so elided rounds record explicit zeros rather
+      // than re-reading the transport's (stale) last-round counters.
+      const FaultCounters faults =
+          deliver ? transport_->round_faults() : FaultCounters{};
       metrics_.faults += faults;
-      metrics_.faults_per_round.push_back(faults);
+      round_faults_.push_back(faults);
     }
 
     ++current_round_;
@@ -498,6 +494,7 @@ SimMetrics SyncEngine::run(Protocol& protocol, std::size_t max_rounds) {
 
   metrics_.rounds = current_round_;
   metrics_.messages_per_round = round_messages_;
+  metrics_.faults_per_round = round_faults_;
   metrics_.status = protocol.finished() ? RunStatus::kFinished
                     : quiescent        ? RunStatus::kQuiescent
                                        : RunStatus::kRoundBudgetExhausted;

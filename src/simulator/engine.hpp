@@ -47,10 +47,12 @@
 // per-round roll-up runs on the driving thread.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <exception>
 #include <initializer_list>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -58,6 +60,7 @@
 #include "graph/graph.hpp"
 #include "simulator/metrics.hpp"
 #include "simulator/transport.hpp"
+#include "support/worker_pool.hpp"
 
 namespace dsnd {
 
@@ -99,6 +102,16 @@ struct EngineOptions {
   /// an engine-owned ReliableTransport — today's in-process bucket
   /// exchange, bit for bit.
   Transport* transport = nullptr;
+
+  /// When true (default), rounds in which no shard staged a cross-shard
+  /// message and the transport holds nothing in flight
+  /// (Transport::pending() == 0) skip the exchange+deliver stage
+  /// entirely — no transport call, no delivery passes, no collect
+  /// barrier; only wakes and active lists are updated. Results and
+  /// metrics are identical either way (such a round delivers zero
+  /// messages by construction); the knob exists for A/B benchmarking
+  /// and for bisecting, not for correctness.
+  bool elide_quiet_rounds = true;
 };
 
 namespace detail {
@@ -189,6 +202,46 @@ class Outbox {
   bool neighbors_fetched_ = false;
 };
 
+/// Chunk-parallel helper handed to Protocol::on_round_begin, backed by
+/// the engine's parked worker pool. Lets a protocol's serial pre-round
+/// hook fan a bulk data-parallel fill (e.g. the carving protocol's
+/// batched radius sampling) across the engine's workers without owning
+/// threads of its own.
+class RoundPool {
+ public:
+  explicit RoundPool(WorkerPool* pool) : pool_(pool) {}
+
+  unsigned workers() const { return pool_ != nullptr ? pool_->workers() : 1; }
+
+  /// Splits [0, count) into one contiguous chunk per worker and runs
+  /// fn(chunk_begin, chunk_end, worker) concurrently — worker 0 on the
+  /// calling thread. Small counts run as one serial chunk (the barrier
+  /// costs more than the work). Chunks are disjoint, so per-index writes
+  /// need no synchronization; a per-chunk fold combined with an
+  /// associative + commutative operator (max, |=, +) on the caller's
+  /// thread afterwards is bit-identical for every worker count.
+  template <typename F>
+  void for_chunks(std::size_t count, F&& fn) const {
+    const unsigned workers_now = workers();
+    if (workers_now <= 1 || count < kMinParallelCount) {
+      if (count > 0) fn(std::size_t{0}, count, 0u);
+      return;
+    }
+    const std::size_t chunk = (count + workers_now - 1) / workers_now;
+    pool_->run([&](unsigned w) {
+      const std::size_t begin = std::min(count, w * chunk);
+      const std::size_t end = std::min(count, begin + chunk);
+      if (begin < end) fn(begin, end, w);
+    });
+  }
+
+ private:
+  // Below this, one cache-warm serial pass beats waking the pool.
+  static constexpr std::size_t kMinParallelCount = 2048;
+
+  WorkerPool* pool_;
+};
+
 /// A distributed algorithm. The engine drives all vertices through
 /// synchronous rounds until finished() or a round cap.
 class Protocol {
@@ -213,8 +266,14 @@ class Protocol {
   /// Las Vegas phase replay, which folds the overflow bit sampled last
   /// round to decide whether the current attempt will be aborted).
   /// Rounds it observes are consecutive; it is never called for a round
-  /// the engine skips (quiescence, finished()). Default: no-op.
-  virtual void on_round_begin(std::size_t round) { (void)round; }
+  /// the engine skips (quiescence, finished()). `pool` fans bulk
+  /// data-parallel work (array fills, batched sampling) across the
+  /// engine's parked workers — see RoundPool::for_chunks for the
+  /// determinism contract. Default: no-op.
+  virtual void on_round_begin(std::size_t round, RoundPool& pool) {
+    (void)round;
+    (void)pool;
+  }
 
   /// Called per round for each scheduled vertex with the messages
   /// delivered to it (sent by neighbors in the previous round).
@@ -247,6 +306,10 @@ class SyncEngine {
   const Graph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The resolved transport backing the exchange stage: the borrowed
+  /// EngineOptions::transport, or the engine-owned reliable default.
+  const Transport& transport() const { return *transport_; }
+
   /// Resolved worker/shard count (threads = 0 resolves to the hardware
   /// concurrency at construction).
   unsigned workers() const { return workers_; }
@@ -268,8 +331,10 @@ class SyncEngine {
   /// Stage 2 for one shard: counting-sort what the transport delivered
   /// to it into its CSR inbox, fire due wakes (read from the raw staging
   /// buckets, never the transport — self-wakes are local timers and
-  /// survive any fault plan), build its next active list.
-  void collect_shard(unsigned s, unsigned parity);
+  /// survive any fault plan), build its next active list. `deliver` is
+  /// false on elided quiet rounds: the transport was not exchanged, so
+  /// the delivery passes are skipped and only wakes/active lists run.
+  void collect_shard(unsigned s, unsigned parity, bool deliver);
   void ring_insert(detail::Shard& shard, std::uint64_t target, VertexId v);
 
   const Graph& graph_;
@@ -280,6 +345,10 @@ class SyncEngine {
   Transport* transport_ = nullptr;
   ReliableTransport default_transport_;
   unsigned workers_ = 1;
+  // The persistent worker pool (workers_ > 1 only): spawned once at
+  // construction and parked between stages, rounds, and runs, so warm
+  // re-runs pay zero thread setup.
+  std::optional<WorkerPool> pool_;
   VertexId shard_width_ = 1;  // ceil(n / workers): shard s owns
                               // [s*width, min((s+1)*width, n))
   bool scheduled_ = false;
@@ -304,7 +373,11 @@ class SyncEngine {
   std::vector<std::uint64_t> active_stamp_;
 
   SimMetrics metrics_;
+  // Per-round series kept as persistent members (copied into metrics_ at
+  // run end) so their capacity survives across runs and the round loop
+  // never reallocates mid-run once warmed.
   std::vector<std::uint64_t> round_messages_;
+  std::vector<FaultCounters> round_faults_;
 };
 
 }  // namespace dsnd

@@ -9,6 +9,20 @@
 
 namespace dsnd {
 
+namespace detail {
+
+std::size_t staged_message_count(std::span<const SendStaging> staging) {
+  std::size_t total = 0;
+  for (const SendStaging& worker : staging) {
+    for (const ShardBucket& bucket : worker.buckets) {
+      total += bucket.headers.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
 // ReliableTransport
 // ---------------------------------------------------------------------------

@@ -85,6 +85,11 @@ struct SendStaging {
   }
 };
 
+/// Total headers staged across every (worker, shard) bucket — the
+/// engine's quiet-round predicate (O(workers^2) bucket-size sums, no
+/// header scan).
+std::size_t staged_message_count(std::span<const SendStaging> staging);
+
 }  // namespace detail
 
 /// One contiguous run of delivered messages: headers plus the word arena
@@ -126,6 +131,17 @@ class Transport {
   /// Hands the transport this round's staged sends: one SendStaging per
   /// source worker (the current parity's). The transport prepares what
   /// each destination shard will receive. Serial, driving thread only.
+  ///
+  /// Elision contract: on a round where no worker staged a message AND
+  /// pending() == 0, the engine MAY skip exchange() — and every
+  /// delivery() read — entirely (the quiet-round fast path). Such a
+  /// round delivers nothing by construction for any transport whose
+  /// traffic originates from the staged sends; a transport whose
+  /// deliveries can arrive from elsewhere (e.g. a process-boundary
+  /// backend receiving remote slices) must account for them in
+  /// pending(), which both blocks the elision and the engine's
+  /// quiescence detection. round_faults() is NOT queried for a skipped
+  /// round — the engine records explicit zeros.
   virtual void exchange(std::size_t round,
                         std::span<detail::SendStaging> staging) = 0;
 

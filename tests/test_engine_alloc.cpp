@@ -5,14 +5,17 @@
 // none per message, per inbox, or per round.
 //
 // The global operator new/delete are replaced with counting versions.
-// This file deliberately contains a single test so no gtest bookkeeping
-// interleaves with the measurement window.
+// Each test brackets its own measurement window with before/after
+// counter reads, so gtest bookkeeping between tests never pollutes a
+// window.
 #include <atomic>
 #include <cstdlib>
 #include <new>
 
 #include <gtest/gtest.h>
 
+#include "decomposition/carving_protocol.hpp"
+#include "decomposition/elkin_neiman.hpp"
 #include "graph/generators.hpp"
 #include "simulator/engine.hpp"
 
@@ -85,6 +88,46 @@ TEST(EngineAllocations, SteadyStateRoundsAllocateNothingPerMessage) {
   // The only allocations permitted are the O(1) end-of-run metrics
   // snapshot — nothing proportional to messages or rounds.
   EXPECT_LE(during, 16u);
+}
+
+// The warm path end to end: a reusable CarveContext whose engine, pool,
+// and protocol arrays were warmed by a cold run must execute further
+// full carves — salted Lemma 1 recarves included — allocating only for
+// the returned result (clustering, metrics series), nothing per
+// message, per round, or per retry.
+TEST(EngineAllocations, WarmCarveContextRunsAllocateOnlyTheResult) {
+  const VertexId n = 20000;
+  const Graph g = make_gnp(n, 8.0 / (n - 1), 1);
+  // The overflow-smoke configuration: a threshold low enough that the
+  // recarve loop fires on this seed, so the measured warm runs cover the
+  // salted resampling path too.
+  CarveSchedule schedule = theorem1_schedule(n, 0, 4.0);
+  schedule.radius_overflow_at = 8.5;
+  schedule.max_retries_per_phase = 64;
+
+  CarveContext context(g);
+  const DistributedRun cold = run_schedule_distributed(context, schedule, 42);
+  ASSERT_GT(cold.run.carve.retries, 0);
+
+  const std::size_t before_a = g_allocations.load();
+  const DistributedRun warm_a =
+      run_schedule_distributed(context, schedule, 42);
+  const std::size_t allocs_a = g_allocations.load() - before_a;
+
+  const std::size_t before_b = g_allocations.load();
+  const DistributedRun warm_b =
+      run_schedule_distributed(context, schedule, 42);
+  const std::size_t allocs_b = g_allocations.load() - before_b;
+
+  EXPECT_GT(warm_a.sim.messages, 50000u);
+  EXPECT_GT(static_cast<std::uint64_t>(warm_a.sim.rounds), 100u);
+  EXPECT_GT(warm_a.run.carve.retries, 0);
+  EXPECT_EQ(warm_b.sim.messages, warm_a.sim.messages);
+  // Later warm runs never allocate more than earlier ones (all buffer
+  // capacity is retained), and the absolute count stays result-sized:
+  // orders of magnitude below the message/round volume above.
+  EXPECT_LE(allocs_b, allocs_a);
+  EXPECT_LE(allocs_b, 4096u);
 }
 
 }  // namespace
