@@ -254,6 +254,10 @@ struct EngineCaseOptions {
   /// ("INVALID": the run claimed ok but external validation failed) —
   /// only the latter is CI-grep bait.
   const FaultPlan* faults = nullptr;
+  /// Checkpoint-rollback budget override (CarveSchedule::max_rollbacks):
+  /// -1 keeps the schedule default, 0 disables rollback recovery (the
+  /// whole-run-retry-only baseline of the recovery-cost A/B rows).
+  std::int32_t max_rollbacks = -1;
   /// Engine round budget override (EngineOptions::max_rounds); 0 keeps
   /// the schedule-derived default.
   std::size_t max_rounds = 0;
@@ -281,6 +285,9 @@ struct EngineCaseOutcome {
   std::string valid;
   CarveStatus status = CarveStatus::kOk;
   std::int32_t run_retries = 0;
+  std::int32_t rollbacks = 0;
+  std::int64_t replayed_phases = 0;
+  std::uint64_t rejoins = 0;
   FaultCounters faults;
   /// repeat > 1 only: the cold/warm wall times and whether any warm run
   /// diverged from the cold one (drivers fail on warm_ms > cold_ms and
@@ -312,6 +319,9 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
   }
   if (options.max_retries_per_phase > 0) {
     schedule.max_retries_per_phase = options.max_retries_per_phase;
+  }
+  if (options.max_rollbacks >= 0) {
+    schedule.max_rollbacks = options.max_rollbacks;
   }
   EngineOptions engine;
   engine.threads = options.threads;
@@ -450,16 +460,24 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
     const FaultCounters& faults = run.run.carve.faults;
     record.field("status", carve_status_name(run.run.carve.status))
         .field("run_retries", run.run.carve.run_retries)
+        .field("rollbacks", run.run.carve.rollbacks)
+        .field("replayed_phases", run.run.carve.replayed_phases)
         .field("dropped", faults.dropped)
         .field("delayed", faults.delayed)
         .field("duplicated", faults.duplicated)
         .field("crashed", faults.crashed)
         .field("drop_rate", options.faults->drop_rate);
+    if (faults.rejoined != 0) {
+      record.field("rejoined", faults.rejoined);
+    }
   }
   if (options.outcome) {
     options.outcome->valid = valid_cell;
     options.outcome->status = run.run.carve.status;
     options.outcome->run_retries = run.run.carve.run_retries;
+    options.outcome->rollbacks = run.run.carve.rollbacks;
+    options.outcome->replayed_phases = run.run.carve.replayed_phases;
+    options.outcome->rejoins = run.run.carve.rejoins;
     options.outcome->faults = run.run.carve.faults;
     options.outcome->cold_ms = cold_ms;
     options.outcome->warm_ms = warm_ms;

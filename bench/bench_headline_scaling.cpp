@@ -364,15 +364,16 @@ void recarve_ten_million(dsnd::bench::JsonWriter& json) {
 }
 
 /// E4i — chaos transport smoke (`--chaos`): the Theorem 1 schedule at
-/// n = 20000 run through a FaultyTransport, sweeping drop rates
-/// {0.001, 0.01, 0.1} across three families plus one mixed-fault row
-/// (drop + duplicate + bounded delay + reorder + a crash-stop span).
-/// The never-silently-invalid contract, at bench scale: every row must
-/// end "ok" (validated, possibly after salted whole-run retries) or as
-/// a named failure whose fault counters show why. "INVALID" — a row
-/// claiming ok whose clustering fails external validation — is the one
-/// greppable outcome; returns how many such rows occurred so the CI
-/// step fails on any.
+/// n = 20000 run through a FaultyTransport, sweeping drop rates across
+/// three families plus one mixed-fault row (drop + duplicate + bounded
+/// delay + reorder + a crash-stop span), then the recovery-cost A/B
+/// pairs (whole-run retry vs checkpoint rollback on identical plans
+/// with a crash-recovery span). The never-silently-invalid contract, at
+/// bench scale: every row must end "ok" (validated, possibly after
+/// rollbacks and salted whole-run retries) or as a named failure whose
+/// fault counters show why. "INVALID" — a row claiming ok whose
+/// clustering fails external validation — is the one greppable outcome;
+/// returns how many such rows occurred so the CI step fails on any.
 int chaos_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
   bench::print_header(
       "E4i / chaos transport smoke (Theorem 1 under injected faults)",
@@ -393,19 +394,25 @@ int chaos_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
       {"hyperbolic-deg8", make_hyperbolic(n, 8.0, 2.8, 1, 0)},
   };
   int rows = 0, ok_rows = 0, named_rows = 0, invalid_rows = 0;
-  std::int64_t run_retries = 0;
-  std::uint64_t injected = 0;
+  std::int64_t run_retries = 0, rollbacks = 0;
+  std::uint64_t injected = 0, rejoins = 0;
   const auto run_case = [&](const std::string& family, const Graph& g,
-                            const FaultPlan& plan) {
+                            const FaultPlan& plan,
+                            std::int32_t max_rollbacks =
+                                -1) -> bench::EngineCaseOutcome {
     bench::EngineCaseOptions options{1, 0, /*validate=*/true};
     options.threads = threads;
     options.faults = &plan;
+    options.max_rollbacks = max_rollbacks;
     bench::EngineCaseOutcome outcome;
     options.outcome = &outcome;
-    bench::engine_scaling_case(family, g, table, json, options);
+    outcome.cold_ms =
+        bench::engine_scaling_case(family, g, table, json, options);
     ++rows;
     run_retries += outcome.run_retries;
+    rollbacks += outcome.rollbacks;
     injected += outcome.faults.total();
+    rejoins += outcome.rejoins;
     if (outcome.valid == "ok") {
       ++ok_rows;
     } else if (outcome.valid == "INVALID") {
@@ -413,11 +420,14 @@ int chaos_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
     } else {
       ++named_rows;
     }
+    return outcome;
   };
   // The light tiers (1e-5, 1e-4: tens to hundreds of dropped messages
-  // per attempt) are where the salted whole-run retry wins at this
-  // scale; from 1e-3 up every attempt loses thousands of messages and
-  // the rows document the named-failure side of the contract instead.
+  // per attempt) recover via a rollback or a salted whole-run retry;
+  // 1e-3 (thousands of drops per attempt) is where checkpoint rollback
+  // starts rescuing runs the retry budget alone could not; from 1e-2 up
+  // no early phase ever validates — no checkpoint exists — and the rows
+  // document the named-failure side of the contract instead.
   for (const ChaosCase& c : cases) {
     for (const double drop : {0.00001, 0.0001, 0.001, 0.01, 0.1}) {
       FaultPlan plan;
@@ -440,12 +450,43 @@ int chaos_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
     plan.crashes.push_back(CrashSpan{n - 20, n, std::uint64_t{30}});
     run_case(cases[0].family, cases[0].graph, plan);
   }
+  // E4i-b — recovery-cost A/B: the same seeded fault plans (drops plus a
+  // crash-RECOVERY span) run twice, whole-run-retry only (max_rollbacks
+  // = 0, the pre-checkpoint loop) vs checkpoint rollback (the schedule
+  // default). Where both arms recover, the rollback arm must replay
+  // strictly fewer phases — it restores the validated prefix instead of
+  // re-running it. Smaller n so failures recover instead of exhausting
+  // both budgets.
+  const VertexId ab_n = 2000;
+  const Graph ab_graph = make_gnp(ab_n, 8.0 / (ab_n - 1), 3);
+  double retry_ms = 0.0, rollback_ms = 0.0;
+  std::int64_t retry_replayed = 0, rollback_replayed = 0;
+  for (const double drop : {0.002, 0.005, 0.01}) {
+    FaultPlan plan;
+    plan.seed = 4099 + static_cast<std::uint64_t>(drop * 1e6);
+    plan.drop_rate = drop;
+    plan.crashes.push_back(
+        CrashSpan{ab_n - 50, ab_n, std::uint64_t{10}, std::uint64_t{25}});
+    const bench::EngineCaseOutcome retry =
+        run_case("gnp-deg8/retry", ab_graph, plan, /*max_rollbacks=*/0);
+    const bench::EngineCaseOutcome rollback =
+        run_case("gnp-deg8/rollback", ab_graph, plan);
+    retry_ms += retry.cold_ms;
+    rollback_ms += rollback.cold_ms;
+    retry_replayed += retry.replayed_phases;
+    rollback_replayed += rollback.replayed_phases;
+  }
   table.print(std::cout);
   std::cout << "\nchaos validity: " << ok_rows << "/" << rows
             << " rows validated ok, " << named_rows
             << " named failures (flagged with counters), " << invalid_rows
             << " silent-invalid; whole-run retries=" << run_retries
+            << " rollbacks=" << rollbacks << " rejoined=" << rejoins
             << " injected_faults=" << injected << "\n";
+  std::cout << "recovery A/B (same fault plans): whole-run retry replayed "
+            << retry_replayed << " phases in " << retry_ms
+            << " ms, checkpoint rollback replayed " << rollback_replayed
+            << " phases in " << rollback_ms << " ms\n";
   return invalid_rows;
 }
 

@@ -81,6 +81,14 @@ struct CarveSchedule {
   /// retried with a run-salted seed up to this many times. Irrelevant —
   /// and never consulted — on reliable transports.
   std::int32_t max_run_retries = 4;
+  /// Checkpoint-rollback budget for the same recovery loop: a failed
+  /// attempt first restores the last validated phase-boundary checkpoint
+  /// and replays only the suffix phases on a rollback-salted seed
+  /// (stream_seed(seed, 2, rollback)), falling back to whole-run retries
+  /// only when this budget is exhausted or no checkpoint exists yet.
+  /// 0 disables rollback recovery entirely (the PR 7 retry-only loop).
+  /// Never consulted on reliable transports.
+  std::int32_t max_rollbacks = 8;
   /// Effective radius parameter (integer k for Theorems 1-2; the derived
   /// real k = (cn)^{1/lambda} ln(cn) for Theorem 3).
   double k = 0.0;

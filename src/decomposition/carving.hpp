@@ -172,6 +172,20 @@ struct CarveResult {
   /// distinct from `retries`, which counts PR 5's per-phase resamples
   /// within one run.
   std::int32_t run_retries = 0;
+  /// Checkpoint rollbacks spent by the recovery loop: failed runs that
+  /// restored the last validated phase-boundary checkpoint and replayed
+  /// only the suffix phases on the a = 2 salt channel
+  /// (stream_seed(seed, 2, rollback)). Preferred over whole-run retries;
+  /// see CarveSchedule::max_rollbacks. Always 0 on reliable runs.
+  std::int32_t rollbacks = 0;
+  /// Phases re-executed by recovery runs: each rollback bills the phases
+  /// past its restored checkpoint, each whole-run retry bills every phase
+  /// it ran. The A/B cost metric — on the same fault plan, rollback
+  /// recovery replays strictly fewer phases than whole-run retry.
+  std::int64_t replayed_phases = 0;
+  /// Crash-recovery rejoin events across every attempt (vertices whose
+  /// CrashSpan rejoin round was reached; mirrors faults.rejoined).
+  std::uint64_t rejoins = 0;
   /// Transport fault events aggregated across every attempt of the run
   /// (all zeros on a reliable transport).
   FaultCounters faults;

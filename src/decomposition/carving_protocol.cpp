@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "decomposition/checkpoint.hpp"
 #include "decomposition/validation.hpp"
 #include "simulator/engine.hpp"
 #include "support/assert.hpp"
@@ -43,6 +44,28 @@ class CarvingProtocol final : public Protocol {
   /// salted attempts and every CarveContext warm re-run go through here.
   void set_params(const CarveParams& params) { params_ = params; }
 
+  /// Attaches (or detaches, with nullptr) the phase-boundary recovery
+  /// arena. With an arena the protocol records each phase's joiners,
+  /// validates every finalized phase incrementally, and captures a
+  /// checkpoint at each validated boundary; an invalid phase ends the
+  /// run early with recovery_invalid_phase() set instead of joining bad
+  /// clusters into the output.
+  void enable_recovery(RecoveryArena* arena) {
+    arena_ = arena;
+    restore_armed_ = false;
+  }
+
+  /// Makes the NEXT begin() restore from the arena's checkpoint instead
+  /// of starting fresh: the validated prefix phases are reinstated and
+  /// the run resumes at checkpoint.next_phase (one-shot; cleared by
+  /// begin()). Requires an enabled arena with a restorable checkpoint.
+  void arm_restore() { restore_armed_ = true; }
+
+  /// True when the last run stopped because a finalized phase failed
+  /// incremental validation (a fault-corrupted phase caught at its
+  /// boundary rather than at whole-run validation).
+  bool recovery_invalid_phase() const { return invalid_phase_; }
+
   void begin(const Graph& g) override {
     const auto n = static_cast<std::size_t>(g.num_vertices());
     DSND_REQUIRE(names_.empty() || names_.size() == n,
@@ -70,15 +93,58 @@ class CarvingProtocol final : public Protocol {
     accepted_overflow_ = false;
     sampled_overflow_ = false;
     max_sampled_radius_ = 0.0;
+    invalid_phase_ = false;
+    restored_carved_ = 0;
+    restored_phases_used_ = 0;
+    if (arena_ != nullptr) {
+      if (arena_->joiners.empty()) arena_->joiners.resize(1);
+      for (std::vector<VertexId>& per_worker : arena_->joiners) {
+        per_worker.clear();
+      }
+      arena_->joined.clear();
+      if (restore_armed_) {
+        // Rollback: overwrite the freshly initialized per-vertex arrays
+        // with the last validated checkpoint and resume at its phase.
+        // Nothing else needs restoring — best_/second_/sent_* are
+        // rewritten at the attempt's step 0 and never read for carved
+        // vertices, and round 0 runs EVERY vertex in scheduled mode, so
+        // no wake-calendar snapshot is needed: carved vertices return
+        // early via alive_, live ones re-arm their own wake chain.
+        const PhaseCheckpoint& cp = arena_->checkpoint;
+        DSND_CHECK(cp.restorable() && cp.alive.size() == n,
+                   "restore armed without a matching checkpoint");
+        std::copy(cp.alive.begin(), cp.alive.end(), alive_.begin());
+        std::copy(cp.chosen_center.begin(), cp.chosen_center.end(),
+                  chosen_center_.begin());
+        std::copy(cp.chosen_phase.begin(), cp.chosen_phase.end(),
+                  chosen_phase_.begin());
+        live_.assign(cp.live.begin(), cp.live.end());
+        phase_ = cp.next_phase;
+        retries_total_ = cp.retries_total;
+        max_sampled_radius_ = cp.max_sampled_radius;
+        restored_carved_ = cp.carved;
+        restored_phases_used_ = cp.phases_used;
+      }
+    }
+    restore_armed_ = false;
     workers_ = 1;
     accum_.reset(1);
+    accum_[0].carved = restored_carved_;
+    accum_[0].phases_used = restored_phases_used_;
     chunk_stats_.assign(1, RadiusBatchStats{});
   }
 
   void begin_workers(unsigned workers) override {
     workers_ = workers == 0 ? 1 : workers;
     accum_.reset(workers);
+    // The restored prefix's totals ride in worker slot 0, which exists
+    // for every worker count — the fold stays shard-count invariant.
+    accum_[0].carved = restored_carved_;
+    accum_[0].phases_used = restored_phases_used_;
     chunk_stats_.assign(workers_, RadiusBatchStats{});
+    if (arena_ != nullptr && arena_->joiners.size() < workers_) {
+      arena_->joiners.resize(workers_);
+    }
   }
 
   // The shared round plan. The engine's global round counter no longer
@@ -119,11 +185,20 @@ class CarvingProtocol final : public Protocol {
         ++retry_;
         ++retries_total_;
       } else {
-        ++phase_;
-        retry_ = 0;
         // Joiners left the live set; compact it lazily at the next
         // sampling pass (a replayed attempt keeps the set unchanged).
         live_dirty_ = true;
+        if (arena_ != nullptr && !finalize_phase_boundary()) {
+          // The finalized phase failed incremental validation: a fault
+          // corrupted its join decisions. Stop the run here — finished()
+          // now fires and the recovery loop rolls back to the last
+          // validated checkpoint instead of carving on top of a bad
+          // phase. The round about to run is a deterministic no-op.
+          invalid_phase_ = true;
+          return;
+        }
+        ++phase_;
+        retry_ = 0;
       }
       step_ = 0;
       abort_attempt_ = false;
@@ -139,6 +214,10 @@ class CarvingProtocol final : public Protocol {
 
   void on_round(VertexId v, std::size_t /*round*/,
                 std::span<const MessageView> inbox, Outbox& out) override {
+    // The engine checks finished() before the pre-round hook, so the
+    // round in which the hook flags an invalid phase still executes:
+    // make it a no-op so the run's metrics stay deterministic.
+    if (invalid_phase_) return;
     const auto vi = static_cast<std::size_t>(v);
     if (!alive_[vi]) return;
     Accum& accum = accum_[out.worker()];
@@ -192,6 +271,12 @@ class CarvingProtocol final : public Protocol {
       chosen_phase_[vi] = phase_;
       alive_[vi] = 0;
       ++accum.carved;
+      if (arena_ != nullptr) {
+        // Record the joiner for the boundary validation. Per-worker
+        // lists in shard execution (= ascending vertex id) order, so the
+        // worker-order concatenation is ascending for any thread count.
+        arena_->joiners[out.worker()].push_back(v);
+      }
       out.send_to_all_neighbors({kTagLeave});
     } else {
       // Survivors sample again at the next attempt's step 0.
@@ -199,7 +284,9 @@ class CarvingProtocol final : public Protocol {
     }
   }
 
-  bool finished() const override { return remaining() == 0; }
+  bool finished() const override {
+    return invalid_phase_ || remaining() == 0;
+  }
 
   CarveResult build_result() const {
     CarveResult result;
@@ -292,6 +379,55 @@ class CarvingProtocol final : public Protocol {
     return names_.empty() ? v : names_[static_cast<std::size_t>(v)];
   }
 
+  /// Drops carved vertices from the live list when it is stale.
+  void compact_live() {
+    if (!live_dirty_) return;
+    live_.erase(
+        std::remove_if(live_.begin(), live_.end(),
+                       [&](VertexId v) {
+                         return alive_[static_cast<std::size_t>(v)] == 0;
+                       }),
+        live_.end());
+    live_dirty_ = false;
+  }
+
+  /// Runs at the boundary of a completed (non-aborted) phase, before the
+  /// plan advances: validates the phase's clusters incrementally and, on
+  /// success, captures the post-phase state as the rollback checkpoint.
+  /// Returns false when the phase is invalid (the caller stops the run).
+  /// Serial — called from the pre-round hook only.
+  bool finalize_phase_boundary() {
+    arena_->joined.clear();
+    for (std::vector<VertexId>& per_worker : arena_->joiners) {
+      arena_->joined.insert(arena_->joined.end(), per_worker.begin(),
+                            per_worker.end());
+      per_worker.clear();
+    }
+    if (!arena_->joined.empty() &&
+        !arena_->validator.validate_phase(*graph_, arena_->joined,
+                                          chosen_center_, chosen_phase_,
+                                          phase_)) {
+      return false;
+    }
+    if (!accepted_overflow_) {
+      // Checkpoint the validated prefix. An overflow-tainted run is not
+      // checkpointed: restoring it would silently launder the voided
+      // validity certificate into a later attempt.
+      compact_live();
+      const VertexId carved = accum_.fold(
+          VertexId{0},
+          [](VertexId acc, const Accum& a) { return acc + a.carved; });
+      const std::int32_t phases_used = accum_.fold(
+          0, [](std::int32_t acc, const Accum& a) {
+            return std::max(acc, a.phases_used);
+          });
+      arena_->checkpoint.capture(alive_, live_, chosen_center_,
+                                 chosen_phase_, phase_ + 1, retries_total_,
+                                 max_sampled_radius_, carved, phases_used);
+    }
+    return true;
+  }
+
   /// Fills radii_ for every live vertex for attempt (phase_, retry_) in
   /// one chunk-parallel batched pass and folds the Lemma 1 overflow bit
   /// and the radius max. Runs on the serial pre-round hook, so the live
@@ -299,15 +435,7 @@ class CarvingProtocol final : public Protocol {
   /// under the previous round's barrier) and the per-chunk stats need no
   /// synchronization.
   void sample_attempt(RoundPool& pool) {
-    if (live_dirty_) {
-      live_.erase(std::remove_if(live_.begin(), live_.end(),
-                                 [&](VertexId v) {
-                                   return alive_[static_cast<std::size_t>(
-                                              v)] == 0;
-                                 }),
-                  live_.end());
-      live_dirty_ = false;
-    }
+    compact_live();
     const double beta =
         phase_ < static_cast<std::int32_t>(params_.betas.size())
             ? params_.betas[static_cast<std::size_t>(phase_)]
@@ -401,6 +529,15 @@ class CarvingProtocol final : public Protocol {
   bool sampled_overflow_ = false;
   double max_sampled_radius_ = 0.0;
   bool live_dirty_ = false;
+  // Phase-boundary recovery (null = disabled): the arena is owned by the
+  // CarveContext so its buffers outlive and warm across runs.
+  RecoveryArena* arena_ = nullptr;
+  bool restore_armed_ = false;
+  bool invalid_phase_ = false;
+  // Totals of the restored prefix, folded into worker slot 0's accum so
+  // build_result()/remaining() see the whole run, not just the suffix.
+  VertexId restored_carved_ = 0;
+  std::int32_t restored_phases_used_ = 0;
   unsigned workers_ = 1;
   std::vector<char> alive_;
   std::vector<double> radii_;
@@ -462,9 +599,16 @@ DistributedCarveResult run_carve_attempt(SyncEngine& engine,
     DSND_CHECK(engine.transport().lossy(),
                "distributed carving failed to exhaust the graph");
     result.carve = protocol.build_result();
-    result.carve.status = result.sim.status == RunStatus::kQuiescent
-                              ? CarveStatus::kStalled
-                              : CarveStatus::kRoundBudgetExhausted;
+    // An invalid-phase stop ends the engine run via finished() (status
+    // kFinished) with the graph not exhausted; name it kRejected — the
+    // same verdict whole-run validation would have reached, just caught
+    // at the phase boundary.
+    result.carve.status =
+        protocol.recovery_invalid_phase()
+            ? CarveStatus::kRejected
+            : (result.sim.status == RunStatus::kQuiescent
+                   ? CarveStatus::kStalled
+                   : CarveStatus::kRoundBudgetExhausted);
   } else {
     result.carve = protocol.build_result();
   }
@@ -479,21 +623,27 @@ DistributedCarveResult run_carve_attempt(SyncEngine& engine,
 /// unrelabeled runs).
 ///
 /// Reliable transports take the single-attempt fast path unchanged.
-/// Lossy transports get the verify-and-recover loop: every attempt that
-/// claims success is checked with validate_decomposition_fast, rejected
-/// clusterings (and named engine failures) are retried with a run-salted
-/// seed — stream_seed(seed, 1, attempt), the a = 1 channel, disjoint
-/// from the a = 0 channel PR 5's per-phase resamples use — up to
-/// schedule.max_run_retries times. The result is the never-silently-
+/// Lossy transports get the verify-and-recover loop, now phase-granular:
+/// every attempt that claims success is checked with
+/// validate_decomposition_fast; a failed attempt (rejected clustering,
+/// invalid phase caught at its boundary, or a named engine failure)
+/// first ROLLS BACK to the last validated phase-boundary checkpoint and
+/// replays only the suffix phases on a rollback-salted seed —
+/// stream_seed(seed, 2, rollback), the a = 2 channel — up to
+/// schedule.max_rollbacks times, then falls back to whole-run retries on
+/// the a = 1 channel — stream_seed(seed, 1, attempt) — up to
+/// schedule.max_run_retries times (both disjoint from the a = 0 channel
+/// PR 5's per-phase resamples use). The result is the never-silently-
 /// invalid contract: kOk means externally validated, anything else is a
-/// named failure with its fault accounting attached. Attempt 2..N reuse
-/// the engine's pool and arenas outright — the warm path the retry loop
-/// always deserved.
+/// named failure with its fault accounting attached. Every recovery run
+/// reuses the engine's pool and arenas outright — rollbacks restore from
+/// the context-retained checkpoint with zero steady-state allocation.
 DistributedRun run_schedule_distributed_with(SyncEngine& engine,
                                              CarvingProtocol& protocol,
                                              const Graph& original_graph,
                                              const CarveSchedule& schedule,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             RecoveryArena* arena) {
   const bool lossy = engine.transport().lossy();
   // The schedule-derived named-failure budget applies only when the
   // caller left EngineOptions::max_rounds at 0 (same precedence the
@@ -505,19 +655,35 @@ DistributedRun run_schedule_distributed_with(SyncEngine& engine,
 
   const std::int32_t run_budget =
       lossy ? std::max(schedule.max_run_retries, 0) : 0;
+  const std::int32_t rollback_budget =
+      lossy && arena != nullptr ? std::max(schedule.max_rollbacks, 0) : 0;
+  protocol.enable_recovery(rollback_budget > 0 ? arena : nullptr);
+  if (rollback_budget > 0) arena->checkpoint.invalidate();
+
   DistributedRun run;
   FaultCounters total_faults;
-  for (std::int32_t attempt = 0;; ++attempt) {
-    const std::uint64_t attempt_seed =
-        attempt == 0
-            ? seed
-            : stream_seed(seed, 1, static_cast<std::uint64_t>(attempt));
+  std::int32_t attempt = 0;    // whole-run retries spent (a = 1)
+  std::int32_t rollbacks = 0;  // checkpoint rollbacks spent (a = 2)
+  std::int64_t replayed = 0;   // phases re-executed by recovery runs
+  std::int32_t restore_base = 0;
+  bool recovery_run = false;
+  std::uint64_t run_seed = seed;
+  for (;;) {
     DistributedCarveResult result = run_carve_attempt(
-        engine, protocol, schedule.params(attempt_seed), schedule_cap);
+        engine, protocol, schedule.params(run_seed), schedule_cap);
     total_faults += result.sim.faults;
+    if (recovery_run) {
+      // Recovery cost in phases: a rollback bills only the suffix past
+      // its restored checkpoint, a whole-run retry bills every phase it
+      // ran (restore_base 0) — the A/B metric the benches report.
+      replayed += std::max<std::int64_t>(
+          0, result.carve.phases_used - restore_base);
+    }
     run.sim = result.sim;
     run.run.carve = std::move(result.carve);
     run.run.carve.run_retries = attempt;
+    run.run.carve.rollbacks = rollbacks;
+    run.run.carve.replayed_phases = replayed;
     if (!lossy) break;
     if (run.run.carve.status == CarveStatus::kOk) {
       if (run.run.carve.radius_overflow) {
@@ -534,9 +700,29 @@ DistributedRun run_schedule_distributed_with(SyncEngine& engine,
         run.run.carve.status = CarveStatus::kRejected;
       }
     }
-    if (attempt == run_budget) break;  // named failure stands
+    // Recovery: prefer the checkpoint (replay the failed suffix only).
+    // The checkpoint survives across attempts — last-validated-wins is
+    // sound because a validated prefix stays valid regardless of which
+    // seed lineage produced it.
+    if (rollbacks < rollback_budget && arena->checkpoint.restorable()) {
+      ++rollbacks;
+      protocol.arm_restore();
+      restore_base = arena->checkpoint.next_phase;
+      recovery_run = true;
+      run_seed = stream_seed(seed, 2, static_cast<std::uint64_t>(rollbacks));
+      continue;
+    }
+    if (attempt < run_budget) {
+      ++attempt;
+      restore_base = 0;
+      recovery_run = true;
+      run_seed = stream_seed(seed, 1, static_cast<std::uint64_t>(attempt));
+      continue;
+    }
+    break;  // both budgets exhausted: named failure stands
   }
   run.run.carve.faults = total_faults;
+  run.run.carve.rejoins = total_faults.rejoined;
   run.run.bounds = schedule.bounds;
   run.run.k = schedule.k;
   run.run.c = schedule.c;
@@ -556,6 +742,9 @@ struct CarveContext::Impl {
   const Graph* original_graph = nullptr;
   SyncEngine engine;
   CarvingProtocol protocol;
+  // Checkpoint/rollback buffers, retained so warm runs checkpoint and
+  // restore with zero steady-state allocation.
+  RecoveryArena arena;
 
   Impl(const Graph& engine_graph, const EngineOptions& options,
        std::span<const VertexId> names)
@@ -590,6 +779,10 @@ const SyncEngine& CarveContext::engine() const { return impl_->engine; }
 
 DistributedCarveResult carve_decomposition_distributed(
     CarveContext& context, const CarveParams& params) {
+  // Single-attempt runs have no recovery loop to act on checkpoints;
+  // detach any arena a prior schedule run left enabled on the shared
+  // protocol so this run's behavior does not depend on context history.
+  context.impl_->protocol.enable_recovery(nullptr);
   return run_carve_attempt(context.impl_->engine, context.impl_->protocol,
                            params, /*round_cap=*/0);
 }
@@ -599,7 +792,7 @@ DistributedRun run_schedule_distributed(CarveContext& context,
                                         std::uint64_t seed) {
   return run_schedule_distributed_with(
       context.impl_->engine, context.impl_->protocol,
-      *context.impl_->original_graph, schedule, seed);
+      *context.impl_->original_graph, schedule, seed, &context.impl_->arena);
 }
 
 // ---------------------------------------------------------------------------

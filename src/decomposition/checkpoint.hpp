@@ -1,0 +1,118 @@
+// Phase-boundary checkpointing for the distributed carving protocol.
+//
+// The paper's Las Vegas structure is phase-local: a failed attempt only
+// invalidates the phase that sampled it, never the prefix of phases that
+// already carved and validated their blocks. PR 7's verify-and-recover
+// loop ignored that — any failed validation threw the whole run away and
+// replayed every phase on a fresh salt. This subsystem makes recovery
+// phase-granular:
+//
+//   PhaseCheckpoint   a snapshot of the protocol's deterministic state
+//                     at a phase boundary (alive/cluster/center arrays,
+//                     the compacted live list, and the round-plan cursor
+//                     plus accounting scalars). Captured into RETAINED
+//                     buffers, so a warm context checkpoints with zero
+//                     steady-state allocation.
+//   PhaseValidator    the incremental twin of validate_decomposition_fast:
+//                     validates ONLY the clusters finalized this phase
+//                     (proper coloring + connectivity). Sound because the
+//                     full check decomposes exactly by phase — colors are
+//                     phases, so cross-phase adjacency can never violate
+//                     the coloring, and connectivity is per cluster. Runs
+//                     on the ENGINE graph: both properties are invariant
+//                     under the name bijection a cache layout applies, so
+//                     no translation to original ids is needed (the final
+//                     whole-run validation against the original graph
+//                     still gates every kOk — this is an early-exit, not
+//                     a replacement).
+//   RecoveryArena     everything above plus the per-worker joiner lists,
+//                     owned by CarveContext so the buffers live exactly
+//                     as long as the engine/protocol pair they serve.
+//
+// The recovery policy built on top (carving_protocol.cpp): on a failed
+// phase validation or any named fault-induced failure, roll back to the
+// last validated checkpoint and replay only the suffix phases on the
+// a = 2 salt channel (stream_seed(seed, 2, rollback) — disjoint from the
+// a = 0 per-phase and a = 1 whole-run channels), falling back to the
+// whole-run retry when the rollback budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsnd {
+
+/// The carving protocol's deterministic state at a phase boundary. Every
+/// buffer is retained across captures (assign into existing capacity),
+/// so steady-state checkpointing allocates nothing once warm.
+struct PhaseCheckpoint {
+  std::vector<char> alive;                 // per engine vertex
+  std::vector<VertexId> live;              // compacted live list
+  std::vector<VertexId> chosen_center;     // ORIGINAL ids (entries carry names)
+  std::vector<std::int32_t> chosen_phase;  // per engine vertex
+  /// The phase a restored run resumes at; < 1 means no checkpoint (a
+  /// rollback to phase 0 would just be a whole-run retry).
+  std::int32_t next_phase = -1;
+  std::int32_t retries_total = 0;
+  double max_sampled_radius = 0.0;
+  /// Accumulator seeds for the restored run's fold (carved vertices and
+  /// the phases_used high-water mark of the validated prefix).
+  VertexId carved = 0;
+  std::int32_t phases_used = 0;
+
+  bool restorable() const { return next_phase >= 1; }
+  void invalidate() { next_phase = -1; }
+
+  void capture(std::span<const char> alive_now,
+               std::span<const VertexId> live_now,
+               std::span<const VertexId> centers_now,
+               std::span<const std::int32_t> phases_now,
+               std::int32_t next_phase_now, std::int32_t retries_total_now,
+               double max_sampled_radius_now, VertexId carved_now,
+               std::int32_t phases_used_now);
+};
+
+/// Incremental per-phase validation: proper phase coloring and cluster
+/// connectivity restricted to the vertices that joined one phase. Epoch-
+/// stamped scratch arrays make repeated calls O(phase work), allocation-
+/// free once warm.
+class PhaseValidator {
+ public:
+  /// Validates the clusters finalized in `phase`. `joiners` are the
+  /// ENGINE ids that joined this phase, in ascending order; `center_of`
+  /// holds each vertex's chosen center (original ids — any consistent
+  /// labeling works, the checks only compare for equality) and
+  /// `phase_of` its chosen phase. Returns false iff some joiner has a
+  /// same-phase neighbor in a different cluster (improper coloring) or
+  /// some cluster of this phase is disconnected.
+  bool validate_phase(const Graph& g, std::span<const VertexId> joiners,
+                      std::span<const VertexId> center_of,
+                      std::span<const std::int32_t> phase_of,
+                      std::int32_t phase);
+
+ private:
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> visited_;      // per engine vertex
+  std::vector<std::uint32_t> center_seen_;  // per original center id
+  std::vector<VertexId> queue_;             // BFS worklist
+};
+
+/// Checkpoint/rollback state retained by a CarveContext: the last
+/// validated checkpoint, the incremental validator's scratch, and the
+/// per-worker joiner lists the protocol fills at each deciding step
+/// (plain vectors, NOT PerWorker<T> — reset there would drop capacity).
+struct RecoveryArena {
+  PhaseCheckpoint checkpoint;
+  PhaseValidator validator;
+  /// joiners[w]: the vertices worker w's shard joined this phase, in
+  /// execution (= ascending vertex id) order.
+  std::vector<std::vector<VertexId>> joiners;
+  /// Concatenation scratch: the phase's joiners in worker order, which
+  /// is ascending engine-id order for every thread count.
+  std::vector<VertexId> joined;
+};
+
+}  // namespace dsnd

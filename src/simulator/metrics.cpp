@@ -29,6 +29,7 @@ std::string SimMetrics::to_string() const {
     out << " dropped=" << faults.dropped << " delayed=" << faults.delayed
         << " duplicated=" << faults.duplicated
         << " crashed=" << faults.crashed;
+    if (faults.rejoined != 0) out << " rejoined=" << faults.rejoined;
   }
   return out.str();
 }

@@ -34,7 +34,15 @@ struct FaultCounters {
   std::uint64_t dropped = 0;
   std::uint64_t delayed = 0;
   std::uint64_t duplicated = 0;
-  std::uint64_t crashed = 0;  // suppressed sends from crash-stopped vertices
+  // Suppressed messages of crashed vertices: sends of any crashed
+  // sender, plus (crash-RECOVERY spans only) deliveries addressed to a
+  // vertex while it is down.
+  std::uint64_t crashed = 0;
+  /// Crash-recovery rejoin events: vertices whose CrashSpan rejoin round
+  /// was reached, counted once per vertex per run. A recovery event, not
+  /// a fault event — excluded from total(), which keeps counting
+  /// injected perturbations only.
+  std::uint64_t rejoined = 0;
 
   std::uint64_t total() const {
     return dropped + delayed + duplicated + crashed;
@@ -45,6 +53,7 @@ struct FaultCounters {
     delayed += other.delayed;
     duplicated += other.duplicated;
     crashed += other.crashed;
+    rejoined += other.rejoined;
     return *this;
   }
 };

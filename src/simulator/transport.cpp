@@ -75,8 +75,7 @@ FaultyTransport::FaultyTransport(FaultPlan plan, Transport* inner)
 
 void FaultyTransport::begin_run(const TransportGeometry& geometry) {
   geometry_ = geometry;
-  Transport& inner = inner_ != nullptr ? *inner_ : owned_inner_;
-  inner.begin_run(geometry);
+  inner().begin_run(geometry);
 
   for (std::vector<OutBucket>& parity : out_) {
     parity.resize(geometry.shards);
@@ -99,15 +98,44 @@ void FaultyTransport::begin_run(const TransportGeometry& geometry) {
     slot.words.clear();
   }
 
+  // Per-vertex hull of the covering spans: crash = min, rejoin = max.
+  // Uncovered vertices get (never crashes, rejoin 0) — down() is false
+  // for every round. Any crash-stop span (rejoin == kNeverRejoins) pins
+  // the vertex down forever regardless of other spans.
   crash_round_.assign(static_cast<std::size_t>(geometry.num_vertices),
                       std::numeric_limits<std::uint64_t>::max());
+  rejoin_round_.assign(static_cast<std::size_t>(geometry.num_vertices), 0);
   for (const CrashSpan& span : plan_.crashes) {
+    DSND_REQUIRE(span.rejoin == kNeverRejoins || span.rejoin > span.round,
+                 "CrashSpan rejoin must be after the crash round");
     const VertexId end = std::min(span.end, geometry.num_vertices);
     for (VertexId v = std::max<VertexId>(span.begin, 0); v < end; ++v) {
-      std::uint64_t& at = crash_round_[static_cast<std::size_t>(v)];
-      at = std::min(at, span.round);
+      const auto vi = static_cast<std::size_t>(v);
+      crash_round_[vi] = std::min(crash_round_[vi], span.round);
+      rejoin_round_[vi] = std::max(rejoin_round_[vi], span.rejoin);
     }
   }
+
+  // Rejoin schedule: one (round, count) entry per distinct finite rejoin
+  // round with a nonempty outage window, sorted so exchange() bills each
+  // vertex's rejoin exactly once via a cursor.
+  rejoin_events_.clear();
+  rejoin_cursor_ = 0;
+  for (std::size_t vi = 0; vi < rejoin_round_.size(); ++vi) {
+    const std::uint64_t rejoin = rejoin_round_[vi];
+    if (rejoin == 0 || rejoin == kNeverRejoins) continue;
+    if (crash_round_[vi] >= rejoin) continue;  // window merged away
+    bool merged = false;
+    for (auto& [at, count] : rejoin_events_) {
+      if (at == rejoin) {
+        ++count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) rejoin_events_.emplace_back(rejoin, 1);
+  }
+  std::sort(rejoin_events_.begin(), rejoin_events_.end());
 
   pending_ = 0;
   round_faults_ = FaultCounters{};
@@ -145,9 +173,16 @@ void FaultyTransport::emit(const std::size_t round, const VertexId from,
 
 void FaultyTransport::exchange(const std::size_t round,
                                std::span<detail::SendStaging> staging) {
-  Transport& inner = inner_ != nullptr ? *inner_ : owned_inner_;
-  inner.exchange(round, staging);
+  inner().exchange(round, staging);
   round_faults_ = FaultCounters{};
+
+  // Bill rejoin events whose round has arrived: each crash-recovery
+  // vertex counts once, at the first exchange at or past its rejoin.
+  while (rejoin_cursor_ < rejoin_events_.size() &&
+         rejoin_events_[rejoin_cursor_].first <= round) {
+    round_faults_.rejoined += rejoin_events_[rejoin_cursor_].second;
+    ++rejoin_cursor_;
+  }
 
   const unsigned parity = static_cast<unsigned>(round & 1);
   for (OutBucket& bucket : out_[parity]) {
@@ -163,6 +198,14 @@ void FaultyTransport::exchange(const std::size_t round,
   DelaySlot& due = calendar_[round & (calendar_.size() - 1)];
   for (const DelayedMsg& msg : due.msgs) {
     const detail::MsgHeader& h = msg.header;
+    // A due copy addressed to a vertex inside a crash-RECOVERY outage is
+    // lost (the NIC was down when it arrived). Legacy crash-stop targets
+    // keep receiving, as in PR 7 — they are outbound-silent only.
+    if (down(h.to, round) &&
+        rejoin_round_[static_cast<std::size_t>(h.to)] != kNeverRejoins) {
+      ++round_faults_.crashed;
+      continue;
+    }
     emit(round, h.from, h.to, {due.words.data() + h.word_begin, h.length},
          msg.reorder, /*delay=*/0);
   }
@@ -176,7 +219,7 @@ void FaultyTransport::exchange(const std::size_t round,
   // to, occurrence) — none of which depends on the shard count.
   for (unsigned s = 0; s < geometry_.shards; ++s) {
     VertexId block_sender = -1;
-    for (const TransportSlice& slice : inner.delivery(s)) {
+    for (const TransportSlice& slice : inner().delivery(s)) {
       for (const detail::MsgHeader& h : slice.headers) {
         if (h.from != block_sender) {
           // A sender's headers are contiguous within a slice (a vertex
@@ -196,7 +239,15 @@ void FaultyTransport::exchange(const std::size_t round,
         }
         if (!found) occurrence_.emplace_back(h.to, 1u);
 
-        if (round >= crash_round_[static_cast<std::size_t>(h.from)]) {
+        if (down(h.from, round)) {
+          ++round_faults_.crashed;
+          continue;
+        }
+        // Crash-RECOVERY receivers lose inbound traffic while down;
+        // placed before any RNG draw so legacy plans (which never take
+        // this branch) consume an identical decision stream.
+        if (down(h.to, round) &&
+            rejoin_round_[static_cast<std::size_t>(h.to)] != kNeverRejoins) {
           ++round_faults_.crashed;
           continue;
         }

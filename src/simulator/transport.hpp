@@ -183,15 +183,37 @@ class ReliableTransport final : public Transport {
   std::vector<std::vector<TransportSlice>> slices_;
 };
 
-/// A vertex id range [begin, end) that crash-stops: from `round` on, the
-/// transport suppresses every message these vertices send (fail-silent;
-/// the simulated processor still runs locally, its traffic just never
-/// leaves the NIC). Ranges rather than shard ids keep the plan
-/// independent of the engine's shard count.
+/// Rejoin sentinel for CrashSpan: the crashed range never comes back
+/// (the PR 7 crash-STOP semantics).
+inline constexpr std::uint64_t kNeverRejoins = ~std::uint64_t{0};
+
+/// A vertex id range [begin, end) that crashes at `round`. Two regimes:
+///
+///   rejoin == kNeverRejoins (default): crash-STOP, the legacy model.
+///     From `round` on the transport suppresses every message these
+///     vertices SEND (fail-silent; the simulated processor still runs
+///     locally, its traffic just never leaves the NIC). Inbound traffic
+///     still arrives — the node is a black hole only outward.
+///   rejoin < kNeverRejoins: crash-RECOVERY. The range is DOWN for
+///     rounds [round, rejoin): both its sends and the deliveries
+///     addressed to it (fresh and due-delayed alike) are suppressed and
+///     billed as `crashed`. From `rejoin` on it participates normally
+///     again, and the transport counts one `rejoined` event per vertex.
+///     The simulation keeps the vertex's local state across the outage —
+///     the abstraction a real deployment earns by reloading the
+///     phase-boundary checkpoint on rejoin (decomposition/checkpoint.hpp)
+///     — and self-wakes never route through the transport, so the wake
+///     calendar stays in sync by construction.
+///
+/// Ranges rather than shard ids keep the plan independent of the
+/// engine's shard count. Spans overlapping on a vertex merge to their
+/// hull: crash = min, rejoin = max (any crash-stop span pins the vertex
+/// down forever).
 struct CrashSpan {
   VertexId begin = 0;
   VertexId end = 0;  // exclusive
   std::uint64_t round = 0;
+  std::uint64_t rejoin = kNeverRejoins;  // exclusive end of the outage
 };
 
 /// One surgically targeted drop: the message(s) from `from` to `to`
@@ -249,9 +271,20 @@ class FaultyTransport final : public Transport {
   void exchange(std::size_t round,
                 std::span<detail::SendStaging> staging) override;
   std::span<const TransportSlice> delivery(unsigned s) const override;
-  std::size_t pending() const override { return pending_; }
-  bool lossy() const override { return plan_.any(); }
-  FaultCounters round_faults() const override { return round_faults_; }
+  /// In-flight messages of this layer PLUS the wrapped transport's: a
+  /// nested calendar (e.g. a delaying transport wrapped by another) must
+  /// keep blocking quiet-round elision and quiescence even when this
+  /// layer's own calendar is empty.
+  std::size_t pending() const override { return pending_ + inner().pending(); }
+  bool lossy() const override { return plan_.any() || inner().lossy(); }
+  /// This layer's injections plus the wrapped transport's — nested
+  /// faults (e.g. a delay parked in the inner calendar) must reach the
+  /// engine's metrics through the outermost layer.
+  FaultCounters round_faults() const override {
+    FaultCounters faults = round_faults_;
+    faults += inner().round_faults();
+    return faults;
+  }
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -281,6 +314,22 @@ class FaultyTransport final : public Transport {
             std::span<const std::uint64_t> payload, bool reorder,
             std::uint32_t delay);
 
+  Transport& inner() {
+    if (inner_ != nullptr) return *inner_;
+    return owned_inner_;
+  }
+  const Transport& inner() const {
+    if (inner_ != nullptr) return *inner_;
+    return owned_inner_;
+  }
+  /// True while `v` is inside its crash window: crashed at or before
+  /// `round` and not yet rejoined. Legacy (crash-stop) vertices have
+  /// rejoin == kNeverRejoins, so they stay down forever.
+  bool down(VertexId v, std::uint64_t round) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return crash_round_[vi] <= round && round < rejoin_round_[vi];
+  }
+
   FaultPlan plan_;
   Transport* inner_ = nullptr;          // borrowed when non-null
   ReliableTransport owned_inner_;       // used when constructed without one
@@ -289,6 +338,12 @@ class FaultyTransport final : public Transport {
   std::vector<TransportSlice> out_slices_;     // one per shard, per round
   std::vector<DelaySlot> calendar_;            // ring keyed by target round
   std::vector<std::uint64_t> crash_round_;     // per vertex, ~0 = never
+  std::vector<std::uint64_t> rejoin_round_;    // per vertex, 0 = no window
+  // Rejoin schedule: sorted (round, vertices rejoining that round) pairs
+  // plus a cursor, so exchange() can bill rejoin events once per vertex
+  // without scanning the per-vertex arrays each round.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rejoin_events_;
+  std::size_t rejoin_cursor_ = 0;
   // Occurrence scratch: (to, count) pairs for the current sender's block.
   std::vector<std::pair<VertexId, std::uint32_t>> occurrence_;
   std::size_t pending_ = 0;

@@ -18,6 +18,7 @@
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/generators.hpp"
 #include "simulator/engine.hpp"
+#include "simulator/transport.hpp"
 
 namespace {
 
@@ -126,6 +127,45 @@ TEST(EngineAllocations, WarmCarveContextRunsAllocateOnlyTheResult) {
   // Later warm runs never allocate more than earlier ones (all buffer
   // capacity is retained), and the absolute count stays result-sized:
   // orders of magnitude below the message/round volume above.
+  EXPECT_LE(allocs_b, allocs_a);
+  EXPECT_LE(allocs_b, 4096u);
+}
+
+// The same warm guarantee under recovery: a faulted context whose first
+// run exercised checkpoint capture, rollback restore, and replay has
+// sized the RecoveryArena's buffers — further faulted carves (same
+// rollbacks, same replays) stay result-sized, allocating nothing per
+// checkpoint, per rollback, or per validated phase.
+TEST(EngineAllocations, WarmFaultedContextRecoveryAllocatesOnlyTheResult) {
+  const VertexId n = 128;
+  const Graph g = make_gnp(n, 0.05, 1);
+  const CarveSchedule schedule = theorem1_schedule(n, 4, 4.0);
+  FaultPlan plan;
+  plan.seed = 8;
+  plan.drop_rate = 0.05;
+  plan.crashes.push_back(
+      CrashSpan{100, 110, std::uint64_t{8}, std::uint64_t{20}});
+  FaultyTransport transport(plan);
+  EngineOptions engine;
+  engine.transport = &transport;
+
+  CarveContext context(g, engine);
+  const DistributedRun cold = run_schedule_distributed(context, schedule, 1);
+  // The measurement below must cover the recovery machinery, not a
+  // clean first-attempt pass.
+  ASSERT_GT(cold.run.carve.rollbacks, 0);
+
+  const std::size_t before_a = g_allocations.load();
+  const DistributedRun warm_a = run_schedule_distributed(context, schedule, 3);
+  const std::size_t allocs_a = g_allocations.load() - before_a;
+
+  const std::size_t before_b = g_allocations.load();
+  const DistributedRun warm_b = run_schedule_distributed(context, schedule, 3);
+  const std::size_t allocs_b = g_allocations.load() - before_b;
+
+  EXPECT_EQ(warm_a.run.carve.rollbacks, cold.run.carve.rollbacks);
+  EXPECT_EQ(warm_a.run.carve.replayed_phases, cold.run.carve.replayed_phases);
+  EXPECT_EQ(warm_b.sim.messages, warm_a.sim.messages);
   EXPECT_LE(allocs_b, allocs_a);
   EXPECT_LE(allocs_b, 4096u);
 }
