@@ -33,6 +33,16 @@
 
 namespace dsnd::bench {
 
+/// Graph::fingerprint as the zero-padded hex string the JSON records
+/// carry (a bare uint64 would overflow doubles in lax JSON parsers).
+/// Matches chkgraph's "fingerprint:" line and the service cache key.
+inline std::string fingerprint_hex(const Graph& g) {
+  std::ostringstream hex;
+  hex << std::hex << g.fingerprint();
+  std::string digits = hex.str();
+  return std::string(16 - digits.size(), '0') + digits;
+}
+
 inline int scale() {
   if (const char* env = std::getenv("DSND_BENCH_SCALE")) {
     const int value = std::atoi(env);
@@ -421,6 +431,7 @@ inline double engine_scaling_case(const std::string& family, const Graph& g,
                      .field("family", family)
                      .field("n", static_cast<std::int64_t>(n))
                      .field("m", g.num_edges())
+                     .field("fingerprint", fingerprint_hex(g))
                      .field("threads", static_cast<std::uint64_t>(
                                            options.threads))
                      .field("layout", options.layout_name)

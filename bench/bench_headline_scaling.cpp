@@ -5,11 +5,13 @@
 // the asymptotic *shape*: near-linear fits (r^2 close to 1) with modest
 // constants.
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/io.hpp"
+#include "service/decomposition_service.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -490,10 +492,258 @@ int chaos_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
   return invalid_rows;
 }
 
+/// E4j — the DecompositionService end to end (`--service-smoke`): one
+/// service over three registered graphs, a mixed batch of deliverables
+/// submitted concurrently three times — cold (contexts built), warm
+/// (new seeds on the warm contexts), cached (the warm keys again, zero
+/// recarves). Every fresh distributed response is checked bit-identical
+/// against the standalone run_schedule_distributed on the same
+/// (schedule, seed) — a mismatch prints INVALID (CI grep bait) — and
+/// the cached pass must serve every row from the cache. The emitted
+/// JSON carries per-row latencies, per-phase cold/warm/cached means,
+/// and the service's cache/context-pool accounting (the pr10
+/// BENCH_engine.json rows). Returns the number of contract failures.
+int service_smoke(dsnd::bench::JsonWriter& json, unsigned threads) {
+  bench::print_header(
+      "E4j / decomposition service smoke",
+      "mixed concurrent batches through one DecompositionService: "
+      "cold/warm/cached phases, standalone-parity checks on every fresh "
+      "distributed response, cache + context-pool accounting");
+  Table table({"phase", "graph", "deliverable", "seed", "wall_ms",
+               "cache", "status", "parity"});
+
+  // Sized for CI: the app deliverables (round-based MIS/coloring
+  // simulations) dominate, so the big instances stay at 5k vertices.
+  const VertexId n = 5000;
+  struct Entry {
+    std::string id;
+    Graph graph;
+  };
+  std::vector<Entry> graphs;
+  graphs.push_back({"gnp-deg8", make_gnp(n, 8.0 / (n - 1), 1)});
+  graphs.push_back({"hyperbolic-deg8", make_hyperbolic(n, 8.0, 2.8, 1, 0)});
+  graphs.push_back({"ring-2k", make_cycle(2000)});
+
+  ServiceOptions service_options;
+  service_options.engine.threads = threads;
+  DecompositionService service(service_options);
+  for (const Entry& e : graphs) service.register_graph_view(e.id, e.graph);
+
+  // Per graph: the app deliverables on the big instances, decomposition
+  // plus a W=1 cover on the small ring (covers carve G^3, so they stay
+  // cheap). Seeds differ per deliverable so every row is its own carve.
+  const auto requests_for = [&](std::uint64_t seed_base) {
+    std::vector<ServiceRequest> requests;
+    for (const Entry& e : graphs) {
+      const bool small = e.graph.num_vertices() < n;
+      for (const Deliverable d :
+           small ? std::vector<Deliverable>{Deliverable::kDecomposition,
+                                            Deliverable::kCover}
+                 : std::vector<Deliverable>{
+                       Deliverable::kDecomposition, Deliverable::kMis,
+                       Deliverable::kColoring, Deliverable::kSpanner}) {
+        ServiceRequest request;
+        request.graph_id = e.id;
+        request.schedule =
+            theorem1_schedule(e.graph.num_vertices(), 0, 4.0);
+        request.deliverable = d;
+        request.seed = seed_base + static_cast<std::uint64_t>(d) + 1;
+        if (d == Deliverable::kCover) request.cover_radius = 1;
+        requests.push_back(request);
+      }
+    }
+    return requests;
+  };
+
+  const auto matches_standalone = [&](const Graph& g,
+                                      const ServiceRequest& request,
+                                      const ServiceResult& result) {
+    const DistributedRun expected = run_schedule_distributed(
+        g, request.schedule, request.seed, service_options.engine);
+    const DistributedRun& got = result.run;
+    if (expected.sim.rounds != got.sim.rounds ||
+        expected.sim.messages != got.sim.messages ||
+        expected.sim.words != got.sim.words ||
+        expected.run.carve.phases_used != got.run.carve.phases_used) {
+      return false;
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (expected.run.clustering().cluster_of(v) !=
+          got.run.clustering().cluster_of(v)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  int failures = 0;
+  const auto run_phase = [&](const std::string& phase,
+                             std::uint64_t seed_base, bool expect_hits) {
+    const std::vector<ServiceRequest> requests = requests_for(seed_base);
+    Timer batch_timer;
+    const std::vector<ServiceResponse> responses =
+        service.submit_batch(requests);
+    const double batch_ms = batch_timer.elapsed_millis();
+    double total_ms = 0.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const ServiceRequest& request = requests[i];
+      const ServiceResponse& response = responses[i];
+      total_ms += response.wall_ms;
+      std::string parity = "-";
+      if (!response.cache_hit &&
+          request.deliverable != Deliverable::kCover) {
+        const auto entry = std::find_if(
+            graphs.begin(), graphs.end(),
+            [&](const Entry& e) { return e.id == request.graph_id; });
+        parity = matches_standalone(entry->graph, request, *response.result)
+                     ? "ok"
+                     : "INVALID";
+      }
+      const bool row_failed = response.status != "ok" ||
+                              parity == "INVALID" ||
+                              response.cache_hit != expect_hits;
+      if (row_failed) ++failures;
+      table.row()
+          .cell(phase)
+          .cell(request.graph_id)
+          .cell(deliverable_name(request.deliverable))
+          .cell(request.seed)
+          .cell(response.wall_ms, 2)
+          .cell(response.cache_hit == expect_hits
+                    ? (response.cache_hit ? "hit" : "miss")
+                    : (response.cache_hit ? "hit (UNEXPECTED)"
+                                          : "miss (INVALID)"))
+          .cell(response.status)
+          .cell(parity);
+      json.record()
+          .field("section", "service_smoke")
+          .field("phase", phase)
+          .field("graph", request.graph_id)
+          .field("deliverable", deliverable_name(request.deliverable))
+          .field("seed", request.seed)
+          .field("wall_ms", response.wall_ms)
+          .field("cache_hit", std::uint64_t{response.cache_hit})
+          .field("status", response.status)
+          .field("parity", parity);
+    }
+    json.record()
+        .field("section", "service_phase")
+        .field("phase", phase)
+        .field("requests", static_cast<std::uint64_t>(requests.size()))
+        .field("batch_ms", batch_ms)
+        .field("mean_ms", total_ms / static_cast<double>(requests.size()));
+    std::cout << phase << " batch: " << requests.size() << " requests in "
+              << format_double(batch_ms, 1) << " ms (mean per-request "
+              << format_double(total_ms /
+                                   static_cast<double>(requests.size()),
+                               2)
+              << " ms)\n";
+  };
+
+  run_phase("cold", 100, /*expect_hits=*/false);
+  run_phase("warm", 200, /*expect_hits=*/false);
+  run_phase("cached", 200, /*expect_hits=*/true);
+  table.print(std::cout);
+
+  const ServiceStats stats = service.stats();
+  // One warm context per registered graph, reused across phases; the
+  // cached phase must have produced one hit per warm-phase row.
+  if (stats.contexts_created != graphs.size()) {
+    std::cout << "CONTEXT POOL INVALID: " << stats.contexts_created
+              << " contexts for " << graphs.size() << " graphs\n";
+    ++failures;
+  }
+  if (stats.cache_hits == 0 || stats.invalid_responses != 0) ++failures;
+  std::cout << "\nservice stats: requests=" << stats.requests
+            << " cache_hits=" << stats.cache_hits
+            << " cache_misses=" << stats.cache_misses
+            << " cache_evictions=" << stats.cache_evictions
+            << " cache_entries=" << stats.cache_entries
+            << " contexts_created=" << stats.contexts_created
+            << " warm_acquires=" << stats.warm_acquires
+            << " invalid_responses=" << stats.invalid_responses << "\n";
+  json.record()
+      .field("section", "service_stats")
+      .field("requests", stats.requests)
+      .field("cache_hits", stats.cache_hits)
+      .field("cache_misses", stats.cache_misses)
+      .field("cache_evictions", stats.cache_evictions)
+      .field("cache_entries", stats.cache_entries)
+      .field("contexts_created", stats.contexts_created)
+      .field("warm_acquires", stats.warm_acquires)
+      .field("invalid_responses", stats.invalid_responses)
+      .field("threads", static_cast<std::uint64_t>(threads));
+  return failures;
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: bench_headline_scaling [mode] [flags]\n"
+         "modes (default: the E4 shape-fit suite, then engine scaling):\n"
+         "  --engine-smoke    E4c engine scaling, large instances only\n"
+         "                    (the CI perf-smoke entry point)\n"
+         "  --overflow-smoke  E4e forced Lemma-1 recarve loop\n"
+         "  --threads-sweep   E4d thread scaling at 1M (10M too unless\n"
+         "                    --no-large)\n"
+         "  --scale-free      E4f hyperbolic + Kronecker engine workloads\n"
+         "  --ingest-smoke    E4g on-disk round-trip -> validator -> carve\n"
+         "  --recarve-10m     E4h the pr4 10M radius-overflow case, replayed\n"
+         "  --chaos           E4i fault-injection smoke + recovery-cost A/B\n"
+         "  --service-smoke   E4j DecompositionService: concurrent mixed\n"
+         "                    batches, cold/warm/cached rows, cache stats\n"
+         "flags:\n"
+         "  --threads N       engine workers per case (default 1)\n"
+         "  --repeat N        N >= 2: warm re-runs on one context (E4c)\n"
+         "  --no-large        skip the million-vertex instances\n"
+         "  --json PATH       also write results as a JSON record array\n"
+         "  --help            this text\n";
+}
+
+/// Rejects unknown arguments instead of silently running the default
+/// suite: prints the usage block and returns false. Value-taking flags
+/// consume their operand.
+bool args_ok(int argc, char** argv) {
+  static const char* kModes[] = {
+      "--engine-smoke", "--overflow-smoke", "--threads-sweep",
+      "--scale-free",   "--ingest-smoke",   "--recarve-10m",
+      "--chaos",        "--service-smoke",  "--no-large",
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--threads" || arg == "--repeat") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_headline_scaling: " << arg
+                  << " needs a value\n";
+        return false;
+      }
+      ++i;
+      continue;
+    }
+    bool known = false;
+    for (const char* mode : kModes) known |= arg == mode;
+    if (!known) {
+      std::cerr << "bench_headline_scaling: unknown argument '" << arg
+                << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsnd;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
+  if (!args_ok(argc, argv)) {
+    print_usage(std::cerr);
+    return 2;
+  }
   bench::JsonWriter json = bench::JsonWriter::from_args(argc, argv);
   const auto threads = static_cast<unsigned>(
       bench::int_flag(argc, argv, "--threads", 1));
@@ -529,6 +779,9 @@ int main(int argc, char** argv) {
   }
   if (bench::has_flag(argc, argv, "--chaos")) {
     return chaos_smoke(json, threads);
+  }
+  if (bench::has_flag(argc, argv, "--service-smoke")) {
+    return service_smoke(json, threads);
   }
   bench::print_header(
       "E4 / headline scaling (k = ceil(ln n))",

@@ -30,10 +30,20 @@ NeighborhoodCover build_neighborhood_cover(const Graph& g,
   const Clustering& clustering = cover.base.clustering();
   cover.num_colors = clustering.num_colors();
 
-  // 2. Expand every cluster by W hops in G (multi-source BFS from its
-  //    members).
+  // 2. Expand every cluster by W hops in G.
+  cover.clusters = expand_clusters_to_cover(g, clustering, options.radius);
+  return cover;
+}
+
+std::vector<CoverCluster> expand_clusters_to_cover(
+    const Graph& g, const Clustering& clustering, std::int32_t radius) {
+  DSND_REQUIRE(radius >= 1, "cover radius must be positive");
+  DSND_REQUIRE(clustering.num_vertices() == g.num_vertices(),
+               "clustering and graph vertex counts differ");
+  // Multi-source BFS from each cluster's members, capped at `radius`.
+  std::vector<CoverCluster> clusters;
   const ClusterMembers members = clustering.members_csr();
-  cover.clusters.reserve(static_cast<std::size_t>(clustering.num_clusters()));
+  clusters.reserve(static_cast<std::size_t>(clustering.num_clusters()));
   for (ClusterId c = 0; c < clustering.num_clusters(); ++c) {
     const auto core = members.of(c);
     const auto dist = multi_source_bfs(g, core);
@@ -42,13 +52,13 @@ NeighborhoodCover build_neighborhood_cover(const Graph& g,
     expanded.color = clustering.color_of(c);
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       const std::int32_t d = dist[static_cast<std::size_t>(v)];
-      if (d != kUnreachable && d <= options.radius) {
+      if (d != kUnreachable && d <= radius) {
         expanded.members.push_back(v);
       }
     }
-    cover.clusters.push_back(std::move(expanded));
+    clusters.push_back(std::move(expanded));
   }
-  return cover;
+  return clusters;
 }
 
 CoverReport validate_cover(const Graph& g, const NeighborhoodCover& cover) {

@@ -51,6 +51,15 @@ struct CoverOptions {
 NeighborhoodCover build_neighborhood_cover(const Graph& g,
                                            const CoverOptions& options);
 
+/// The expansion half of the construction, exposed on its own: grows
+/// every cluster of a decomposition of G^{2W+1} by `radius` = W hops in
+/// g (multi-source BFS from its members) and returns the cover
+/// clusters. build_neighborhood_cover and the DecompositionService's
+/// cover deliverable share this, so a service-carved base decomposition
+/// expands exactly like the standalone path.
+std::vector<CoverCluster> expand_clusters_to_cover(
+    const Graph& g, const Clustering& clustering, std::int32_t radius);
+
 struct CoverReport {
   bool all_balls_covered = false;   // property (1)
   bool color_classes_disjoint = false;  // property (2)

@@ -1,5 +1,6 @@
 #include "decomposition/elkin_neiman_distributed.hpp"
 
+#include "service/decomposition_service.hpp"
 #include "support/assert.hpp"
 
 namespace dsnd {
@@ -22,7 +23,9 @@ DistributedRun elkin_neiman_distributed(const Graph& g,
   require_protocol_mode(g, options.run_to_completion);
   DSND_REQUIRE(options.margin == 1.0,
                "the distributed protocol implements the paper's margin of 1");
-  return run_schedule_distributed(
+  // Routed through the service layer (decomposition_service.hpp); the
+  // CarveContext& overload below stays the direct parity ground truth.
+  return DecompositionService::run_once_distributed(
       g,
       with_overflow_policy(
           theorem1_schedule(g.num_vertices(), options.k, options.c),
@@ -34,7 +37,7 @@ DistributedRun multistage_distributed(const Graph& g,
                                       const MultistageOptions& options,
                                       const EngineOptions& engine_options) {
   require_protocol_mode(g, options.run_to_completion);
-  return run_schedule_distributed(
+  return DecompositionService::run_once_distributed(
       g,
       with_overflow_policy(
           theorem2_schedule(g.num_vertices(), options.k, options.c),
@@ -46,7 +49,7 @@ DistributedRun high_radius_distributed(const Graph& g,
                                        const HighRadiusOptions& options,
                                        const EngineOptions& engine_options) {
   require_protocol_mode(g, options.run_to_completion);
-  return run_schedule_distributed(
+  return DecompositionService::run_once_distributed(
       g,
       with_overflow_policy(
           theorem3_schedule(g.num_vertices(), options.lambda, options.c),

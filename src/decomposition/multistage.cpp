@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "service/decomposition_service.hpp"
 #include "support/assert.hpp"
 
 namespace dsnd {
@@ -53,12 +54,12 @@ CarveSchedule theorem2_schedule(VertexId n, std::int32_t k, double c) {
 DecompositionRun multistage_decomposition(const Graph& g,
                                           const MultistageOptions& options) {
   DSND_REQUIRE(g.num_vertices() >= 1, "graph must be nonempty");
-  return run_schedule(
+  return DecompositionService::run_once_centralized(
       g,
       with_overflow_policy(
           theorem2_schedule(g.num_vertices(), options.k, options.c),
           options.overflow_policy, options.max_retries_per_phase),
-      options.seed, options.run_to_completion);
+      options.seed, options.run_to_completion, /*margin=*/1.0);
 }
 
 }  // namespace dsnd

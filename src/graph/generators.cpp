@@ -20,6 +20,7 @@ constexpr std::uint64_t kGnpRowTag = 0x676e7001ULL;   // per-row streams
 constexpr std::uint64_t kRggPointTag = 0x52474702ULL;  // per-point streams
 constexpr std::uint64_t kHypPointTag = 0x48595003ULL;  // per-point streams
 constexpr std::uint64_t kKronEdgeTag = 0x4b524f04ULL;  // per-sample streams
+constexpr std::uint64_t kBaEdgeTag = 0x42414505ULL;    // per-slot streams
 
 constexpr double kPi = 3.14159265358979323846;
 
@@ -91,6 +92,82 @@ Graph csr_from_chunk_edges(std::size_t count,
                                   adjacency.begin() + offsets[v + 1]);
                       }
                     });
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+/// Deterministic dedup + symmetric CSR over canonicalized (u < v,
+/// loop-free) edge samples, shared by the sample-then-dedup generators
+/// (kronecker, barabasi_albert). Counting-scatter the samples into
+/// per-u half rows (walking chunks in order, so the multiset is
+/// chunk-count invariant), sort + unique each row, then scatter the
+/// distinct edges row-major: row u receives lower neighbors (from
+/// earlier rows, increasing) before its own upper neighbors
+/// (increasing), so every row comes out sorted without a second sort.
+/// O(samples + m log deg).
+Graph symmetric_csr_from_canonical_samples(
+    std::size_t count, const std::vector<std::vector<Edge>>& chunk_edges,
+    unsigned workers) {
+  std::vector<std::int64_t> half_start(count + 1, 0);
+  for (const auto& edges : chunk_edges) {
+    for (const Edge& e : edges) {
+      ++half_start[static_cast<std::size_t>(e.u) + 1];
+    }
+  }
+  for (std::size_t u = 0; u < count; ++u) half_start[u + 1] += half_start[u];
+  std::vector<VertexId> half_adj(
+      static_cast<std::size_t>(half_start[count]));
+  {
+    std::vector<std::int64_t> fill(half_start.begin(), half_start.end() - 1);
+    for (const auto& edges : chunk_edges) {
+      for (const Edge& e : edges) {
+        half_adj[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(e.u)]++)] = e.v;
+      }
+    }
+  }
+  std::vector<std::int64_t> half_len(count, 0);
+  parallel_chunks(count, workers,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t u = begin; u < end; ++u) {
+                      const auto row_begin =
+                          half_adj.begin() +
+                          static_cast<std::ptrdiff_t>(half_start[u]);
+                      const auto row_end =
+                          half_adj.begin() +
+                          static_cast<std::ptrdiff_t>(half_start[u + 1]);
+                      std::sort(row_begin, row_end);
+                      half_len[u] = std::unique(row_begin, row_end) -
+                                    row_begin;
+                    }
+                  });
+
+  std::vector<std::int64_t> offsets(count + 1, 0);
+  for (std::size_t u = 0; u < count; ++u) {
+    offsets[u + 1] += half_len[u];
+    for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
+         ++i) {
+      ++offsets[static_cast<std::size_t>(
+                    half_adj[static_cast<std::size_t>(i)]) +
+                1];
+    }
+  }
+  for (std::size_t u = 0; u < count; ++u) offsets[u + 1] += offsets[u];
+  std::vector<VertexId> adjacency(
+      static_cast<std::size_t>(offsets[count]));
+  {
+    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t u = 0; u < count; ++u) {
+      for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
+           ++i) {
+        const VertexId v = half_adj[static_cast<std::size_t>(i)];
+        adjacency[static_cast<std::size_t>(
+            cursor[u]++)] = v;
+        adjacency[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(v)]++)] =
+            static_cast<VertexId>(u);
+      }
+    }
   }
   return Graph::from_csr(std::move(offsets), std::move(adjacency));
 }
@@ -458,32 +535,50 @@ Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
   return std::move(builder).build();
 }
 
-Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed) {
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed,
+                           unsigned threads) {
   DSND_REQUIRE(m >= 1, "attachment count must be positive");
   DSND_REQUIRE(n > m, "need more vertices than attachment count");
-  Xoshiro256ss rng(stream_seed(seed, 0x6261ULL, static_cast<std::uint64_t>(n)));
-  GraphBuilder builder(n);
-  // Preferential attachment via the repeated-endpoints trick: sampling a
-  // uniform entry of `targets` is proportional to degree.
-  std::vector<VertexId> targets;
-  for (VertexId v = 0; v < m; ++v) {
-    builder.add_edge(v, m);  // seed star so early vertices have degree >= 1
-    targets.push_back(v);
-    targets.push_back(m);
-  }
-  for (VertexId v = m + 1; v < n; ++v) {
-    std::set<VertexId> chosen;
-    while (static_cast<VertexId>(chosen.size()) < m) {
-      const std::size_t idx = uniform_below(rng, targets.size());
-      chosen.insert(targets[idx]);
+  const auto slots =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(m);
+  const unsigned workers = resolve_threads(threads, slots);
+
+  // Batagelj–Brandes writes an endpoint array M of length 2nm where
+  // M[2i] = i/m (edge slot i's source) and M[2i+1] = M[r_i] with r_i
+  // uniform in [0, 2i+1): copying a uniform position of the prefix is
+  // the repeated-endpoints trick, so targets land degree-proportional.
+  // r_i depends only on the slot index, so M[pos] resolves on demand by
+  // chasing odd positions through their own streams (Sanders–Schulz's
+  // communication-free formulation): no shared array, and the output is
+  // bit-identical for every thread/chunk count. The chase terminates
+  // because each draw strictly decreases the position.
+  auto resolve = [seed, m](std::uint64_t position) {
+    while ((position & 1) != 0) {
+      Xoshiro256ss rng(stream_seed(seed, kBaEdgeTag, position >> 1));
+      position = uniform_below(rng, position);
     }
-    for (VertexId t : chosen) {
-      builder.add_edge(v, t);
-      targets.push_back(v);
-      targets.push_back(t);
-    }
-  }
-  return std::move(builder).build();
+    return static_cast<VertexId>((position >> 1) /
+                                 static_cast<std::uint64_t>(m));
+  };
+
+  // Early slots frequently self-attach (slot 0 always does); those and
+  // duplicate (u, v) picks are dropped by the dedup, matching the usual
+  // simple-graph reading of the model.
+  std::vector<std::vector<Edge>> chunk_edges(workers);
+  parallel_chunks(
+      slots, workers, [&](unsigned worker, std::size_t begin,
+                          std::size_t end) {
+        std::vector<Edge>& edges = chunk_edges[worker];
+        for (std::size_t i = begin; i < end; ++i) {
+          auto u = static_cast<VertexId>(i / static_cast<std::size_t>(m));
+          const VertexId v =
+              resolve(2 * static_cast<std::uint64_t>(i) + 1);
+          if (u == v) continue;
+          edges.push_back(u < v ? Edge{u, v} : Edge{v, u});
+        }
+      });
+  return symmetric_csr_from_canonical_samples(static_cast<std::size_t>(n),
+                                              chunk_edges, workers);
 }
 
 GeometricGraph make_rgg_geometric(VertexId n, double radius,
@@ -796,75 +891,7 @@ Graph make_kronecker(int scale, std::int64_t edge_factor,
     }
   });
 
-  // Deterministic dedup: counting-scatter the canonical samples into
-  // per-u rows (walking chunks in order), then sort + unique each row —
-  // O(samples + m log deg) and independent of the chunking.
-  std::vector<std::int64_t> half_start(count + 1, 0);
-  for (const auto& edges : chunk_edges) {
-    for (const Edge& e : edges) {
-      ++half_start[static_cast<std::size_t>(e.u) + 1];
-    }
-  }
-  for (std::size_t u = 0; u < count; ++u) half_start[u + 1] += half_start[u];
-  std::vector<VertexId> half_adj(
-      static_cast<std::size_t>(half_start[count]));
-  {
-    std::vector<std::int64_t> fill(half_start.begin(), half_start.end() - 1);
-    for (const auto& edges : chunk_edges) {
-      for (const Edge& e : edges) {
-        half_adj[static_cast<std::size_t>(
-            fill[static_cast<std::size_t>(e.u)]++)] = e.v;
-      }
-    }
-  }
-  std::vector<std::int64_t> half_len(count, 0);
-  parallel_chunks(count, workers,
-                  [&](unsigned, std::size_t begin, std::size_t end) {
-                    for (std::size_t u = begin; u < end; ++u) {
-                      const auto row_begin =
-                          half_adj.begin() +
-                          static_cast<std::ptrdiff_t>(half_start[u]);
-                      const auto row_end =
-                          half_adj.begin() +
-                          static_cast<std::ptrdiff_t>(half_start[u + 1]);
-                      std::sort(row_begin, row_end);
-                      half_len[u] = std::unique(row_begin, row_end) -
-                                    row_begin;
-                    }
-                  });
-
-  // Final symmetric CSR from the distinct canonical edges, scattered in
-  // row-major order: row u receives lower neighbors (from earlier rows,
-  // increasing) before its own upper neighbors (increasing), so every
-  // row comes out sorted without a second sort.
-  std::vector<std::int64_t> offsets(count + 1, 0);
-  for (std::size_t u = 0; u < count; ++u) {
-    offsets[u + 1] += half_len[u];
-    for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
-         ++i) {
-      ++offsets[static_cast<std::size_t>(
-                    half_adj[static_cast<std::size_t>(i)]) +
-                1];
-    }
-  }
-  for (std::size_t u = 0; u < count; ++u) offsets[u + 1] += offsets[u];
-  std::vector<VertexId> adjacency(
-      static_cast<std::size_t>(offsets[count]));
-  {
-    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::size_t u = 0; u < count; ++u) {
-      for (std::int64_t i = half_start[u]; i < half_start[u] + half_len[u];
-           ++i) {
-        const VertexId v = half_adj[static_cast<std::size_t>(i)];
-        adjacency[static_cast<std::size_t>(
-            cursor[u]++)] = v;
-        adjacency[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(v)]++)] =
-            static_cast<VertexId>(u);
-      }
-    }
-  }
-  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+  return symmetric_csr_from_canonical_samples(count, chunk_edges, workers);
 }
 
 namespace {
@@ -951,6 +978,11 @@ const std::vector<GraphFamily>& families_impl() {
            ++scale;
          }
          return make_kronecker(scale, 8, seed);
+       }},
+      {"ba",
+       [](VertexId n, std::uint64_t seed) {
+         // Attachment count 4: average degree just under 8.
+         return make_barabasi_albert(std::max<VertexId>(n, 8), 4, seed);
        }},
   };
   return kFamilies;

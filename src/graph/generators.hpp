@@ -94,8 +94,13 @@ Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
                           std::uint64_t seed);
 
 /// Barabási–Albert preferential attachment; each new vertex attaches m
-/// edges. Requires m >= 1 and n > m.
-Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed);
+/// edges (fewer after self-loop/duplicate dedup, as in the standard
+/// simple-graph reading). Requires m >= 1 and n > m.
+/// Batagelj–Brandes endpoint-copying resolved per edge slot from its
+/// own stream (Sanders–Schulz), so generation follows the chunk-parallel
+/// stream-split contract: bit-identical for every thread/chunk count.
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed,
+                           unsigned threads = 1);
 
 /// A graph whose vertices carry unit-square coordinates — what the
 /// geometric generators return so callers can derive locality layouts

@@ -93,6 +93,33 @@ std::vector<Edge> Graph::edges() const {
   return result;
 }
 
+namespace {
+
+/// SplitMix64's finalizer as a running fold: mixes each word into the
+/// accumulator with full avalanche, so offset/adjacency permutations
+/// land on different fingerprints.
+std::uint64_t mix_word(std::uint64_t h, std::uint64_t word) {
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + word;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Graph::fingerprint() const {
+  std::uint64_t h = mix_word(0x64736e6447726168ULL,  // "dsndGrah"
+                             static_cast<std::uint64_t>(num_vertices()));
+  h = mix_word(h, static_cast<std::uint64_t>(num_edges()));
+  for (const std::int64_t offset : offsets_) {
+    h = mix_word(h, static_cast<std::uint64_t>(offset));
+  }
+  for (const VertexId v : adjacency_) {
+    h = mix_word(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
 void Graph::check_vertex(VertexId v) const {
   DSND_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
 }

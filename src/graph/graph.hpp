@@ -79,6 +79,13 @@ class Graph {
   std::span<const std::int64_t> csr_offsets() const { return offsets_; }
   std::span<const VertexId> csr_adjacency() const { return adjacency_; }
 
+  /// Cheap structural hash over the CSR: a SplitMix64-style fold of
+  /// (n, m, offsets, adjacency) in O(n + m). Two graphs with the same
+  /// fingerprint are the same topology for all practical purposes (the
+  /// service result cache keys on it; chkgraph and the bench JSON emit
+  /// it so records identify their instance). Not cryptographic.
+  std::uint64_t fingerprint() const;
+
   /// Invokes fn(u, v) once per edge with u < v.
   template <typename Fn>
   void for_each_edge(Fn&& fn) const {

@@ -1,0 +1,40 @@
+#include "service/context_pool.hpp"
+
+namespace dsnd {
+
+ContextPool::ContextPool(const EngineOptions& engine) : engine_(engine) {}
+
+ContextPool::Lease ContextPool::acquire(const std::string& graph_id,
+                                        const Graph& graph) {
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto& entry = slots_[graph_id];
+    if (!entry) entry = std::make_unique<Slot>();
+    slot = entry.get();
+  }
+  // Blocks until same-graph predecessors finish — the serialize-on-one-
+  // warm-context policy. Slots are never erased, so the pointer stays
+  // valid without the registry lock.
+  std::unique_lock<std::mutex> slot_lock(slot->mutex);
+  const bool created = slot->context == nullptr;
+  if (created) {
+    slot->context = std::make_unique<CarveContext>(graph, engine_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (created) {
+      ++stats_.contexts_created;
+    } else {
+      ++stats_.warm_acquires;
+    }
+  }
+  return Lease(std::move(slot_lock), slot->context.get(), created);
+}
+
+ContextPoolStats ContextPool::stats() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return stats_;
+}
+
+}  // namespace dsnd

@@ -1,0 +1,76 @@
+// Warm CarveContext pool for the DecompositionService.
+//
+// One slot per registered graph, each holding a lazily constructed
+// CarveContext (engine + parked worker pool + retained protocol arrays,
+// see carving_protocol.hpp) behind its own mutex. acquire() blocks until
+// the slot is free, so requests sharing a graph serialize onto the same
+// warm context — the first request pays construction, every later one
+// runs warm — while requests for distinct graphs run fully in parallel
+// on their own slots. Warm ≡ cold is a pinned bit-identity contract, so
+// this scheduling policy is invisible in the results; it only moves wall
+// time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "decomposition/carving_protocol.hpp"
+#include "simulator/engine.hpp"
+
+namespace dsnd {
+
+struct ContextPoolStats {
+  /// Cold acquisitions: a slot's context was constructed for the call.
+  std::uint64_t contexts_created = 0;
+  /// Warm acquisitions: the slot already held a context and reused it.
+  std::uint64_t warm_acquires = 0;
+};
+
+class ContextPool {
+ public:
+  /// engine is copied; a borrowed transport inside it must outlive the
+  /// pool (the same rule CarveContext itself imposes).
+  explicit ContextPool(const EngineOptions& engine);
+
+  /// RAII lease: holds the slot's lock for its lifetime. Movable so
+  /// acquire() can return it; not copyable.
+  class Lease {
+   public:
+    CarveContext& context() { return *context_; }
+    /// True when this acquisition constructed the context (cold).
+    bool created() const { return created_; }
+
+   private:
+    friend class ContextPool;
+    Lease(std::unique_lock<std::mutex> lock, CarveContext* context,
+          bool created)
+        : lock_(std::move(lock)), context_(context), created_(created) {}
+
+    std::unique_lock<std::mutex> lock_;
+    CarveContext* context_;
+    bool created_;
+  };
+
+  /// Blocks until graph_id's slot is free, constructing the context on
+  /// first use. The graph reference must stay valid for the pool's
+  /// lifetime (the service's registry guarantees it).
+  Lease acquire(const std::string& graph_id, const Graph& graph);
+
+  ContextPoolStats stats() const;
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::unique_ptr<CarveContext> context;
+  };
+
+  EngineOptions engine_;
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+  ContextPoolStats stats_;
+};
+
+}  // namespace dsnd

@@ -1,0 +1,308 @@
+#include "service/decomposition_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+#include <utility>
+
+#include "decomposition/validation.hpp"
+#include "graph/power.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace dsnd {
+
+const char* deliverable_name(Deliverable deliverable) {
+  switch (deliverable) {
+    case Deliverable::kDecomposition:
+      return "decomposition";
+    case Deliverable::kMis:
+      return "mis";
+    case Deliverable::kColoring:
+      return "coloring";
+    case Deliverable::kSpanner:
+      return "spanner";
+    case Deliverable::kCover:
+      return "cover";
+  }
+  DSND_CHECK(false, "unreachable deliverable");
+  return "?";
+}
+
+Deliverable deliverable_by_name(const std::string& name) {
+  for (const Deliverable d :
+       {Deliverable::kDecomposition, Deliverable::kMis,
+        Deliverable::kColoring, Deliverable::kSpanner, Deliverable::kCover}) {
+    if (name == deliverable_name(d)) return d;
+  }
+  DSND_REQUIRE(false, "unknown deliverable: " + name);
+  return Deliverable::kDecomposition;  // unreachable
+}
+
+DecompositionService::DecompositionService(const ServiceOptions& options)
+    : options_(options),
+      pool_(options.engine),
+      cache_(options.cache_capacity) {}
+
+DecompositionService::~DecompositionService() = default;
+
+std::uint64_t DecompositionService::register_graph(
+    const std::string& graph_id, Graph graph) {
+  auto registered = std::make_unique<RegisteredGraph>();
+  registered->storage = std::move(graph);
+  registered->graph = &*registered->storage;
+  registered->fingerprint = registered->graph->fingerprint();
+  const std::uint64_t fingerprint = registered->fingerprint;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  graphs_[graph_id] = std::move(registered);
+  return fingerprint;
+}
+
+std::uint64_t DecompositionService::register_graph_view(
+    const std::string& graph_id, const Graph& graph) {
+  auto registered = std::make_unique<RegisteredGraph>();
+  registered->graph = &graph;
+  registered->fingerprint = graph.fingerprint();
+  const std::uint64_t fingerprint = registered->fingerprint;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  graphs_[graph_id] = std::move(registered);
+  return fingerprint;
+}
+
+bool DecompositionService::has_graph(const std::string& graph_id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return graphs_.contains(graph_id);
+}
+
+std::uint64_t DecompositionService::graph_fingerprint(
+    const std::string& graph_id) const {
+  return lookup(graph_id).fingerprint;
+}
+
+const DecompositionService::RegisteredGraph& DecompositionService::lookup(
+    const std::string& graph_id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = graphs_.find(graph_id);
+  DSND_REQUIRE(it != graphs_.end(),
+               "unknown graph_id: " + graph_id +
+                   " (register_graph it first)");
+  // Registrations are never erased and the map stores stable pointers,
+  // so the reference stays valid without the lock.
+  return *it->second;
+}
+
+std::shared_ptr<const ServiceResult> DecompositionService::execute(
+    const ServiceRequest& request, const RegisteredGraph& registered,
+    bool& valid, std::string& status) {
+  const Graph& g = *registered.graph;
+  auto result = std::make_shared<ServiceResult>();
+  // The graph the base clustering lives on (G^{2W+1} for covers).
+  const Graph* carved_graph = &g;
+  std::optional<Graph> power_storage;
+
+  if (request.deliverable == Deliverable::kCover) {
+    DSND_REQUIRE(request.cover_radius >= 1, "cover radius must be positive");
+    // Covers carve the power graph. Its topology differs from the
+    // registered graph, so the pooled context does not apply; the
+    // centralized backend produces the identical clustering (the PR 3
+    // parity contract) without a throwaway engine build.
+    power_storage.emplace(graph_power(g, 2 * request.cover_radius + 1));
+    carved_graph = &*power_storage;
+    result->run.run = run_schedule(*carved_graph, request.schedule,
+                                   request.seed, request.run_to_completion,
+                                   request.margin);
+  } else if (request.backend == ServiceBackend::kCentralized) {
+    result->run.run = run_schedule(g, request.schedule, request.seed,
+                                   request.run_to_completion,
+                                   request.margin);
+  } else {
+    DSND_REQUIRE(request.run_to_completion && request.margin == 1.0,
+                 "the distributed backend implements the paper's exact "
+                 "rules; use ServiceBackend::kCentralized for the "
+                 "margin/run_to_completion ablations");
+    ContextPool::Lease lease = pool_.acquire(request.graph_id, g);
+    result->run =
+        run_schedule_distributed(lease.context(), request.schedule,
+                                 request.seed);
+  }
+
+  status = carve_status_name(result->run.run.carve.status);
+  if (options_.validate_responses) {
+    const FastDecompositionReport report = validate_decomposition_fast(
+        *carved_graph, result->run.run.clustering());
+    const bool clustering_ok = report.complete &&
+                               report.proper_phase_coloring &&
+                               report.all_clusters_connected;
+    if (result->run.run.carve.status == CarveStatus::kOk &&
+        !clustering_ok) {
+      // The never-silently-invalid contract: a run that claimed ok but
+      // fails external validation is flagged, never served as good and
+      // never cached. (Named failures keep their status string.)
+      valid = false;
+      status = "INVALID";
+      return result;
+    }
+  }
+  valid = true;
+
+  const Clustering& clustering = result->run.run.clustering();
+  switch (request.deliverable) {
+    case Deliverable::kDecomposition:
+      break;
+    case Deliverable::kMis:
+      result->mis = mis_by_decomposition(g, clustering);
+      break;
+    case Deliverable::kColoring:
+      result->coloring = coloring_by_decomposition(g, clustering);
+      break;
+    case Deliverable::kSpanner:
+      result->spanner = spanner_by_decomposition(g, clustering);
+      break;
+    case Deliverable::kCover: {
+      NeighborhoodCover cover;
+      cover.radius = request.cover_radius;
+      cover.base = result->run.run;
+      cover.num_colors = clustering.num_colors();
+      cover.clusters =
+          expand_clusters_to_cover(g, clustering, request.cover_radius);
+      result->cover = std::move(cover);
+      break;
+    }
+  }
+  return result;
+}
+
+ServiceResponse DecompositionService::submit(const ServiceRequest& request) {
+  Timer timer;
+  const RegisteredGraph& registered = lookup(request.graph_id);
+
+  ResultCacheKey key;
+  key.graph_fingerprint = registered.fingerprint;
+  key.schedule = schedule_signature(request.schedule);
+  key.seed = request.seed;
+  key.deliverable = static_cast<std::int32_t>(request.deliverable);
+  key.backend = static_cast<std::int32_t>(request.backend);
+  key.cover_radius =
+      request.deliverable == Deliverable::kCover ? request.cover_radius : 0;
+  key.run_to_completion = request.run_to_completion;
+  key.margin_bits = std::bit_cast<std::uint64_t>(request.margin);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++requests_;
+  }
+
+  ServiceResponse response;
+  if (auto cached = cache_.find(key)) {
+    response.result = std::move(cached);
+    response.cache_hit = true;
+    response.status =
+        carve_status_name(response.result->run.run.carve.status);
+    response.wall_ms = timer.elapsed_millis();
+    return response;
+  }
+
+  response.result =
+      execute(request, registered, response.valid, response.status);
+  if (response.valid &&
+      response.result->run.run.carve.status == CarveStatus::kOk) {
+    cache_.insert(key, response.result);
+  }
+  if (!response.valid) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++invalid_responses_;
+  }
+  response.wall_ms = timer.elapsed_millis();
+  return response;
+}
+
+std::vector<ServiceResponse> DecompositionService::submit_batch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<ServiceResponse> responses(requests.size());
+  // Group indices by graph_id, preserving submission order within each
+  // group: one worker per distinct graph drains its group sequentially
+  // (same-graph requests share one warm context anyway), distinct
+  // graphs run in parallel.
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& e) {
+      return e.first == requests[i].graph_id;
+    });
+    if (it == groups.end()) {
+      groups.emplace_back(requests[i].graph_id,
+                          std::vector<std::size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  if (groups.size() <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = submit(requests[i]);
+    }
+    return responses;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(groups.size());
+  for (const auto& [graph_id, indices] : groups) {
+    workers.emplace_back([this, &requests, &responses, &indices] {
+      for (const std::size_t i : indices) {
+        responses[i] = submit(requests[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return responses;
+}
+
+DecompositionRun DecompositionService::run_once_centralized(
+    const Graph& g, const CarveSchedule& schedule, std::uint64_t seed,
+    bool run_to_completion, double margin) {
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  options.validate_responses = false;
+  DecompositionService service(options);
+  service.register_graph_view("g", g);
+  ServiceRequest request;
+  request.graph_id = "g";
+  request.schedule = schedule;
+  request.seed = seed;
+  request.backend = ServiceBackend::kCentralized;
+  request.run_to_completion = run_to_completion;
+  request.margin = margin;
+  return service.submit(request).result->run.run;
+}
+
+DistributedRun DecompositionService::run_once_distributed(
+    const Graph& g, const CarveSchedule& schedule, std::uint64_t seed,
+    const EngineOptions& engine_options) {
+  ServiceOptions options;
+  options.engine = engine_options;
+  options.cache_capacity = 0;
+  options.validate_responses = false;
+  DecompositionService service(options);
+  service.register_graph_view("g", g);
+  ServiceRequest request;
+  request.graph_id = "g";
+  request.schedule = schedule;
+  request.seed = seed;
+  request.backend = ServiceBackend::kDistributed;
+  return service.submit(request).result->run;
+}
+
+ServiceStats DecompositionService::stats() const {
+  ServiceStats stats;
+  const ResultCacheStats cache = cache_.stats();
+  const ContextPoolStats pool = pool_.stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats.requests = requests_;
+  stats.invalid_responses = invalid_responses_;
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_entries = cache.entries;
+  stats.contexts_created = pool.contexts_created;
+  stats.warm_acquires = pool.warm_acquires;
+  return stats;
+}
+
+}  // namespace dsnd

@@ -17,6 +17,7 @@
 #include "decomposition/carving_protocol.hpp"
 #include "decomposition/elkin_neiman.hpp"
 #include "graph/generators.hpp"
+#include "service/decomposition_service.hpp"
 #include "simulator/engine.hpp"
 #include "simulator/transport.hpp"
 
@@ -127,6 +128,42 @@ TEST(EngineAllocations, WarmCarveContextRunsAllocateOnlyTheResult) {
   // Later warm runs never allocate more than earlier ones (all buffer
   // capacity is retained), and the absolute count stays result-sized:
   // orders of magnitude below the message/round volume above.
+  EXPECT_LE(allocs_b, allocs_a);
+  EXPECT_LE(allocs_b, 4096u);
+}
+
+// The warm guarantee through the service layer: after the first
+// submission for a graph has built its pooled context, further
+// cache-bypassing submissions run on that warm context and allocate
+// only result-sized state (response, clustering, validation scratch) —
+// the service adds scheduling and accounting, never a per-request
+// engine rebuild.
+TEST(EngineAllocations, WarmServiceSubmissionsAllocateOnlyTheResult) {
+  const VertexId n = 20000;
+  const Graph g = make_gnp(n, 8.0 / (n - 1), 1);
+  ServiceOptions options;
+  options.cache_capacity = 0;  // every submission must really carve
+  DecompositionService service(options);
+  service.register_graph_view("g", g);
+  ServiceRequest request;
+  request.graph_id = "g";
+  request.schedule = theorem1_schedule(n, 0, 4.0);
+  request.seed = 42;
+  const ServiceResponse cold = service.submit(request);
+  ASSERT_EQ(cold.status, "ok");
+
+  const std::size_t before_a = g_allocations.load();
+  const ServiceResponse warm_a = service.submit(request);
+  const std::size_t allocs_a = g_allocations.load() - before_a;
+
+  const std::size_t before_b = g_allocations.load();
+  const ServiceResponse warm_b = service.submit(request);
+  const std::size_t allocs_b = g_allocations.load() - before_b;
+
+  EXPECT_GT(warm_a.result->run.sim.messages, 50000u);
+  EXPECT_EQ(warm_b.result->run.sim.messages,
+            warm_a.result->run.sim.messages);
+  EXPECT_EQ(service.stats().contexts_created, 1u);
   EXPECT_LE(allocs_b, allocs_a);
   EXPECT_LE(allocs_b, 4096u);
 }

@@ -52,10 +52,37 @@ TEST(ScaleFree, KroneckerBitIdenticalAcrossChunkCounts) {
   }
 }
 
+TEST(ScaleFree, BarabasiAlbertBitIdenticalAcrossChunkCounts) {
+  for (const std::uint64_t seed : kSeeds) {
+    const Graph base = make_barabasi_albert(4000, 4, seed, 1);
+    for (const unsigned threads : kChunkCounts) {
+      EXPECT_TRUE(make_barabasi_albert(4000, 4, seed, threads) == base)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ScaleFree, BarabasiAlbertShapeAndTail) {
+  const Graph g = make_barabasi_albert(20000, 4, 1, 4);
+  EXPECT_EQ(g.num_vertices(), 20000);
+  // nm slots minus self-attachments and duplicate picks: just under nm
+  // undirected edges.
+  EXPECT_GT(g.num_edges(), 20000 * 3);
+  EXPECT_LE(g.num_edges(), 20000 * 4);
+  const DegreeStats stats = degree_stats(g);
+  // Preferential attachment's signature: hubs far above the ~2m mean
+  // and the textbook alpha ~= 3 tail exponent.
+  EXPECT_GT(stats.max_degree, static_cast<VertexId>(20 * stats.mean_degree));
+  EXPECT_GT(stats.powerlaw_alpha, 2.2);
+  EXPECT_LT(stats.powerlaw_alpha, 3.8);
+}
+
 TEST(ScaleFree, GeneratorsAreSeedSensitive) {
   EXPECT_FALSE(make_hyperbolic(2000, 8.0, 2.8, 1) ==
                make_hyperbolic(2000, 8.0, 2.8, 2));
   EXPECT_FALSE(make_kronecker(10, 8, 1) == make_kronecker(10, 8, 2));
+  EXPECT_FALSE(make_barabasi_albert(2000, 4, 1) ==
+               make_barabasi_albert(2000, 4, 2));
 }
 
 TEST(ScaleFree, HyperbolicMatchesBruteForceNeighborhoods) {
@@ -122,7 +149,7 @@ TEST(ScaleFree, GeneratorsRejectInvalidParameters) {
 }
 
 TEST(ScaleFree, RegisteredFamiliesProduceValidGraphs) {
-  for (const char* family : {"hyperbolic", "kronecker"}) {
+  for (const char* family : {"hyperbolic", "kronecker", "ba"}) {
     const Graph g = family_by_name(family).make(2048, 9);
     const GraphCheckReport report = check_graph(g);
     EXPECT_TRUE(report.ok())

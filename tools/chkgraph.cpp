@@ -250,5 +250,18 @@ int main(int argc, char** argv) {
   const dsnd::GraphCheckReport report =
       dsnd::check_csr(csr.offsets, csr.adjacency);
   std::cout << path << ": " << dsnd::format_report(report);
+  if (report.ok()) {
+    // Valid CSR only: Graph::from_csr asserts the invariants the
+    // validator just confirmed. The fingerprint is what the service
+    // layer keys its result cache on, so callers can predict cache
+    // behavior from the file alone.
+    const dsnd::Graph g = dsnd::Graph::from_csr(std::move(csr.offsets),
+                                                std::move(csr.adjacency));
+    std::ostringstream hex;
+    hex << std::hex << g.fingerprint();
+    std::string digits = hex.str();
+    digits.insert(0, 16 - digits.size(), '0');
+    std::cout << "fingerprint: " << digits << '\n';
+  }
   return report.ok() ? 0 : 1;
 }
