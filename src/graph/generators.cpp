@@ -561,9 +561,15 @@ Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed,
                                  static_cast<std::uint64_t>(m));
   };
 
-  // Early slots frequently self-attach (slot 0 always does); those and
-  // duplicate (u, v) picks are dropped by the dedup, matching the usual
-  // simple-graph reading of the model.
+  // Self-attachment draws and duplicate (u, v) picks are dropped by the
+  // dedup, matching the usual simple-graph reading — except on a
+  // vertex's FIRST slot, where a self-draw deterministically falls back
+  // to the previous vertex. That guarantees every vertex u >= 1 keeps
+  // an edge to an earlier vertex, so the graph is connected exactly
+  // like the classic sequential construction (vertex 0 has no earlier
+  // vertex; its draws all self-attach and are dropped, but vertex 1's
+  // first slot always wires it in). The fallback is a pure function of
+  // the slot index, so the chunk/thread bit-identity contract holds.
   std::vector<std::vector<Edge>> chunk_edges(workers);
   parallel_chunks(
       slots, workers, [&](unsigned worker, std::size_t begin,
@@ -571,9 +577,12 @@ Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed,
         std::vector<Edge>& edges = chunk_edges[worker];
         for (std::size_t i = begin; i < end; ++i) {
           auto u = static_cast<VertexId>(i / static_cast<std::size_t>(m));
-          const VertexId v =
-              resolve(2 * static_cast<std::uint64_t>(i) + 1);
-          if (u == v) continue;
+          VertexId v = resolve(2 * static_cast<std::uint64_t>(i) + 1);
+          if (u == v) {
+            const bool first_slot = i % static_cast<std::size_t>(m) == 0;
+            if (!first_slot || u == 0) continue;
+            v = u - 1;
+          }
           edges.push_back(u < v ? Edge{u, v} : Edge{v, u});
         }
       });

@@ -95,7 +95,11 @@ Graph make_watts_strogatz(VertexId n, VertexId k, double beta,
 
 /// Barabási–Albert preferential attachment; each new vertex attaches m
 /// edges (fewer after self-loop/duplicate dedup, as in the standard
-/// simple-graph reading). Requires m >= 1 and n > m.
+/// simple-graph reading, except that a vertex's first attachment falls
+/// back deterministically to its predecessor on a self-draw — so every
+/// vertex keeps an edge to an earlier one and the graph is always
+/// connected, like the classic sequential construction). Requires
+/// m >= 1 and n > m.
 /// Batagelj–Brandes endpoint-copying resolved per edge slot from its
 /// own stream (Sanders–Schulz), so generation follows the chunk-parallel
 /// stream-split contract: bit-identical for every thread/chunk count.

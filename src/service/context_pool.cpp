@@ -4,12 +4,13 @@ namespace dsnd {
 
 ContextPool::ContextPool(const EngineOptions& engine) : engine_(engine) {}
 
-ContextPool::Lease ContextPool::acquire(const std::string& graph_id,
-                                        const Graph& graph) {
+ContextPool::Lease ContextPool::acquire(
+    std::uint64_t fingerprint, const Graph& graph,
+    std::shared_ptr<const void> keep_alive) {
   Slot* slot = nullptr;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
-    auto& entry = slots_[graph_id];
+    auto& entry = slots_[fingerprint];
     if (!entry) entry = std::make_unique<Slot>();
     slot = entry.get();
   }
@@ -20,6 +21,11 @@ ContextPool::Lease ContextPool::acquire(const std::string& graph_id,
   const bool created = slot->context == nullptr;
   if (created) {
     slot->context = std::make_unique<CarveContext>(graph, engine_);
+    // Pins the registration whose graph the context references; a warm
+    // acquire under the same fingerprint may come from a different (but
+    // structurally identical) registration, and this keeps the original
+    // alive for it.
+    slot->keep_alive = std::move(keep_alive);
   }
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);

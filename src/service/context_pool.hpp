@@ -1,20 +1,28 @@
 // Warm CarveContext pool for the DecompositionService.
 //
-// One slot per registered graph, each holding a lazily constructed
-// CarveContext (engine + parked worker pool + retained protocol arrays,
-// see carving_protocol.hpp) behind its own mutex. acquire() blocks until
-// the slot is free, so requests sharing a graph serialize onto the same
-// warm context — the first request pays construction, every later one
-// runs warm — while requests for distinct graphs run fully in parallel
-// on their own slots. Warm ≡ cold is a pinned bit-identity contract, so
-// this scheduling policy is invisible in the results; it only moves wall
-// time.
+// One slot per distinct graph *fingerprint*, each holding a lazily
+// constructed CarveContext (engine + parked worker pool + retained
+// protocol arrays, see carving_protocol.hpp) behind its own mutex.
+// acquire() blocks until the slot is free, so requests sharing a graph
+// serialize onto the same warm context — the first request pays
+// construction, every later one runs warm — while requests for distinct
+// graphs run fully in parallel on their own slots. Warm ≡ cold is a
+// pinned bit-identity contract, so this scheduling policy is invisible
+// in the results; it only moves wall time.
+//
+// Keying by fingerprint (the same structural hash the result cache
+// trusts) rather than graph_id means re-registering an id under new
+// contents maps to a fresh slot instead of silently reusing a context
+// built on the retired graph. Each slot additionally pins a keep-alive
+// handle to the registration that built its context, so the referenced
+// graph cannot be destroyed out from under a warm context by a later
+// re-registration. Slots are never erased; the pool's footprint is
+// bounded by the number of distinct graphs it has ever carved.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 
 #include "decomposition/carving_protocol.hpp"
@@ -54,10 +62,13 @@ class ContextPool {
     bool created_;
   };
 
-  /// Blocks until graph_id's slot is free, constructing the context on
-  /// first use. The graph reference must stay valid for the pool's
-  /// lifetime (the service's registry guarantees it).
-  Lease acquire(const std::string& graph_id, const Graph& graph);
+  /// Blocks until the fingerprint's slot is free, constructing the
+  /// context on first use. keep_alive is retained by the slot for as
+  /// long as it holds a context, pinning whatever owns the graph (the
+  /// service passes its RegisteredGraph) so the reference the context
+  /// captured cannot dangle after a re-registration.
+  Lease acquire(std::uint64_t fingerprint, const Graph& graph,
+                std::shared_ptr<const void> keep_alive);
 
   ContextPoolStats stats() const;
 
@@ -65,11 +76,12 @@ class ContextPool {
   struct Slot {
     std::mutex mutex;
     std::unique_ptr<CarveContext> context;
+    std::shared_ptr<const void> keep_alive;
   };
 
   EngineOptions engine_;
   mutable std::mutex registry_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Slot>> slots_;
   ContextPoolStats stats_;
 };
 

@@ -48,7 +48,7 @@ DecompositionService::~DecompositionService() = default;
 
 std::uint64_t DecompositionService::register_graph(
     const std::string& graph_id, Graph graph) {
-  auto registered = std::make_unique<RegisteredGraph>();
+  auto registered = std::make_shared<RegisteredGraph>();
   registered->storage = std::move(graph);
   registered->graph = &*registered->storage;
   registered->fingerprint = registered->graph->fingerprint();
@@ -60,7 +60,7 @@ std::uint64_t DecompositionService::register_graph(
 
 std::uint64_t DecompositionService::register_graph_view(
     const std::string& graph_id, const Graph& graph) {
-  auto registered = std::make_unique<RegisteredGraph>();
+  auto registered = std::make_shared<RegisteredGraph>();
   registered->graph = &graph;
   registered->fingerprint = graph.fingerprint();
   const std::uint64_t fingerprint = registered->fingerprint;
@@ -76,32 +76,33 @@ bool DecompositionService::has_graph(const std::string& graph_id) const {
 
 std::uint64_t DecompositionService::graph_fingerprint(
     const std::string& graph_id) const {
-  return lookup(graph_id).fingerprint;
+  return lookup(graph_id)->fingerprint;
 }
 
-const DecompositionService::RegisteredGraph& DecompositionService::lookup(
-    const std::string& graph_id) const {
+std::shared_ptr<const DecompositionService::RegisteredGraph>
+DecompositionService::lookup(const std::string& graph_id) const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   const auto it = graphs_.find(graph_id);
   DSND_REQUIRE(it != graphs_.end(),
                "unknown graph_id: " + graph_id +
                    " (register_graph it first)");
-  // Registrations are never erased and the map stores stable pointers,
-  // so the reference stays valid without the lock.
-  return *it->second;
+  // Shared ownership: a concurrent re-registration of the id swaps the
+  // map entry but retires the old registration only after every caller
+  // holding this pointer has drained.
+  return it->second;
 }
 
 std::shared_ptr<const ServiceResult> DecompositionService::execute(
-    const ServiceRequest& request, const RegisteredGraph& registered,
+    const ServiceRequest& request,
+    const std::shared_ptr<const RegisteredGraph>& registered,
     bool& valid, std::string& status) {
-  const Graph& g = *registered.graph;
+  const Graph& g = *registered->graph;
   auto result = std::make_shared<ServiceResult>();
   // The graph the base clustering lives on (G^{2W+1} for covers).
   const Graph* carved_graph = &g;
   std::optional<Graph> power_storage;
 
   if (request.deliverable == Deliverable::kCover) {
-    DSND_REQUIRE(request.cover_radius >= 1, "cover radius must be positive");
     // Covers carve the power graph. Its topology differs from the
     // registered graph, so the pooled context does not apply; the
     // centralized backend produces the identical clustering (the PR 3
@@ -120,7 +121,8 @@ std::shared_ptr<const ServiceResult> DecompositionService::execute(
                  "the distributed backend implements the paper's exact "
                  "rules; use ServiceBackend::kCentralized for the "
                  "margin/run_to_completion ablations");
-    ContextPool::Lease lease = pool_.acquire(request.graph_id, g);
+    ContextPool::Lease lease =
+        pool_.acquire(registered->fingerprint, g, registered);
     result->run =
         run_schedule_distributed(lease.context(), request.schedule,
                                  request.seed);
@@ -174,16 +176,34 @@ std::shared_ptr<const ServiceResult> DecompositionService::execute(
 
 ServiceResponse DecompositionService::submit(const ServiceRequest& request) {
   Timer timer;
-  const RegisteredGraph& registered = lookup(request.graph_id);
+  const std::shared_ptr<const RegisteredGraph> registered =
+      lookup(request.graph_id);
+
+  const bool is_cover = request.deliverable == Deliverable::kCover;
+  if (is_cover) {
+    DSND_REQUIRE(request.cover_radius >= 1, "cover radius must be positive");
+    // Covers always carve centralized (see execute), but a distributed-
+    // backend cover request still promises the paper's exact rules, so
+    // the ablation knobs are rejected exactly as on the non-cover
+    // distributed path instead of being silently accepted.
+    DSND_REQUIRE(request.backend == ServiceBackend::kCentralized ||
+                     (request.run_to_completion && request.margin == 1.0),
+                 "the distributed backend implements the paper's exact "
+                 "rules; use ServiceBackend::kCentralized for the "
+                 "margin/run_to_completion ablations");
+  }
 
   ResultCacheKey key;
-  key.graph_fingerprint = registered.fingerprint;
+  key.graph_fingerprint = registered->fingerprint;
   key.schedule = schedule_signature(request.schedule);
   key.seed = request.seed;
   key.deliverable = static_cast<std::int32_t>(request.deliverable);
-  key.backend = static_cast<std::int32_t>(request.backend);
-  key.cover_radius =
-      request.deliverable == Deliverable::kCover ? request.cover_radius : 0;
+  // The backend does not determine a cover result (covers always carve
+  // centralized), so it is normalized out of the key: identical cover
+  // requests under either backend share one cache entry.
+  key.backend = static_cast<std::int32_t>(
+      is_cover ? ServiceBackend::kCentralized : request.backend);
+  key.cover_radius = is_cover ? request.cover_radius : 0;
   key.run_to_completion = request.run_to_completion;
   key.margin_bits = std::bit_cast<std::uint64_t>(request.margin);
 
@@ -241,16 +261,28 @@ std::vector<ServiceResponse> DecompositionService::submit_batch(
     }
     return responses;
   }
+  std::vector<std::exception_ptr> errors(requests.size());
   std::vector<std::thread> workers;
   workers.reserve(groups.size());
   for (const auto& [graph_id, indices] : groups) {
-    workers.emplace_back([this, &requests, &responses, &indices] {
+    workers.emplace_back([this, &requests, &responses, &errors, &indices] {
       for (const std::size_t i : indices) {
-        responses[i] = submit(requests[i]);
+        try {
+          responses[i] = submit(requests[i]);
+        } catch (...) {
+          // Captured, not propagated: an exception escaping a worker
+          // thread would std::terminate the whole process, turning one
+          // bad request in a batch into a fatal event that the same
+          // request submitted serially survives.
+          errors[i] = std::current_exception();
+        }
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
   return responses;
 }
 

@@ -11,8 +11,8 @@
 //                                  seed, deliverable, backend, knobs)
 //        hit  -> shared_ptr to the cached result, zero recarve
 //        miss -> execute:
-//                  distributed -> ContextPool::acquire(graph_id): the
-//                                 graph's warm context (same-graph
+//                  distributed -> ContextPool::acquire(fingerprint):
+//                                 the graph's warm context (same-graph
 //                                 requests serialize on it; distinct
 //                                 graphs run in parallel)
 //                  centralized -> run_schedule (the reference backend;
@@ -151,10 +151,15 @@ class DecompositionService {
   DecompositionService& operator=(const DecompositionService&) = delete;
 
   /// Registers an owned graph under graph_id (replacing any previous
-  /// registration of that id). Returns its fingerprint.
+  /// registration of that id; the retired registration stays alive —
+  /// shared ownership — until every in-flight submit and warm context
+  /// built on it lets go, so replacement is race-free). Returns its
+  /// fingerprint.
   std::uint64_t register_graph(const std::string& graph_id, Graph graph);
   /// Borrowing twin for callers that already own the graph (the theorem
-  /// wrappers): no copy; the graph must outlive the service.
+  /// wrappers): no copy; the graph must outlive the service — not just
+  /// the registration, since warm contexts may keep referencing it
+  /// after the id is re-registered.
   std::uint64_t register_graph_view(const std::string& graph_id,
                                     const Graph& graph);
 
@@ -171,7 +176,11 @@ class DecompositionService {
 
   /// Submits a batch, scheduling same-graph runs onto one context in
   /// submission order and distinct graphs onto parallel workers.
-  /// Responses are returned in request order.
+  /// Responses are returned in request order. A request that fails
+  /// (unknown graph_id, inapplicable knobs) makes the whole call throw
+  /// that request's exception — the first such in request order, after
+  /// the remaining work finishes — matching serial submission instead
+  /// of letting it escape a worker thread.
   std::vector<ServiceResponse> submit_batch(
       const std::vector<ServiceRequest>& requests);
 
@@ -200,9 +209,11 @@ class DecompositionService {
     std::uint64_t fingerprint = 0;
   };
 
-  const RegisteredGraph& lookup(const std::string& graph_id) const;
+  std::shared_ptr<const RegisteredGraph> lookup(
+      const std::string& graph_id) const;
   std::shared_ptr<const ServiceResult> execute(
-      const ServiceRequest& request, const RegisteredGraph& registered,
+      const ServiceRequest& request,
+      const std::shared_ptr<const RegisteredGraph>& registered,
       bool& valid, std::string& status);
 
   ServiceOptions options_;
@@ -210,7 +221,7 @@ class DecompositionService {
   ResultCache cache_;
 
   mutable std::mutex registry_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<RegisteredGraph>>
+  std::unordered_map<std::string, std::shared_ptr<const RegisteredGraph>>
       graphs_;
 
   mutable std::mutex stats_mutex_;

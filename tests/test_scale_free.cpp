@@ -14,6 +14,7 @@
 
 #include "decomposition/elkin_neiman_distributed.hpp"
 #include "graph/generators.hpp"
+#include "graph/traversal.hpp"
 #include "graph/validator.hpp"
 
 namespace dsnd {
@@ -75,6 +76,18 @@ TEST(ScaleFree, BarabasiAlbertShapeAndTail) {
   EXPECT_GT(stats.max_degree, static_cast<VertexId>(20 * stats.mean_degree));
   EXPECT_GT(stats.powerlaw_alpha, 2.2);
   EXPECT_LT(stats.powerlaw_alpha, 3.8);
+}
+
+TEST(ScaleFree, BarabasiAlbertIsAlwaysConnected) {
+  // The first-slot self-draw fallback guarantees every vertex an edge
+  // to an earlier one — the connectivity property of the classic
+  // sequential construction, which downstream callers rely on.
+  for (const std::uint64_t seed : kSeeds) {
+    EXPECT_TRUE(is_connected(make_barabasi_albert(3000, 4, seed, 4)))
+        << "seed=" << seed;
+    EXPECT_TRUE(is_connected(make_barabasi_albert(500, 1, seed, 2)))
+        << "m=1 seed=" << seed;
+  }
 }
 
 TEST(ScaleFree, GeneratorsAreSeedSensitive) {

@@ -304,6 +304,90 @@ TEST(Service, FingerprintDistinguishesGraphsAndPinsEquality) {
   EXPECT_NE(a.fingerprint(), b.fingerprint());
 }
 
+TEST(Service, ReRegisteringAGraphIdIsSafeAndServesTheNewGraph) {
+  const VertexId n = 400;
+  const Graph first = make_gnp(n, 8.0 / (n - 1), 1);
+  const Graph second = make_cycle(n);
+  DecompositionService service;
+  const std::uint64_t old_fingerprint = service.register_graph("g", first);
+  const ServiceResponse before =
+      service.submit(decomposition_request("g", n, 3));
+  ASSERT_TRUE(before.valid);
+
+  // Replacing the registration must not leave the warm context (built
+  // on the old graph) reachable under the id: the slot is keyed by
+  // fingerprint and the retired registration stays shared-owned, so the
+  // next submit carves the NEW graph on a fresh context.
+  const std::uint64_t new_fingerprint = service.register_graph("g", second);
+  ASSERT_NE(old_fingerprint, new_fingerprint);
+  EXPECT_EQ(service.graph_fingerprint("g"), new_fingerprint);
+  const ServiceResponse after =
+      service.submit(decomposition_request("g", n, 3));
+  ASSERT_TRUE(after.valid);
+  const CarveSchedule schedule = theorem1_schedule(n, 4, 4.0);
+  expect_identical(after.result->run,
+                   run_schedule_distributed(second, schedule, 3),
+                   "after re-registration");
+  expect_identical(before.result->run,
+                   run_schedule_distributed(first, schedule, 3),
+                   "before re-registration");
+  // ...and the result carved on the old graph is not served for the new
+  // one: fingerprints separate the cache entries.
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(service.stats().contexts_created, 2u);
+}
+
+TEST(Service, SubmitBatchSurfacesBadRequestsAsExceptions) {
+  const VertexId n = 300;
+  const Graph a = make_gnp(n, 8.0 / (n - 1), 1);
+  const Graph b = make_cycle(n);
+  DecompositionService service;
+  service.register_graph_view("a", a);
+  service.register_graph_view("b", b);
+
+  // Three distinct graph ids force the multi-group (worker-thread)
+  // path; the unknown id must throw the same std::invalid_argument it
+  // does under serial submission instead of escaping its thread and
+  // terminating the process.
+  const std::vector<ServiceRequest> requests = {
+      decomposition_request("a", n, 1),
+      decomposition_request("missing", n, 1),
+      decomposition_request("b", n, 1),
+  };
+  EXPECT_THROW(service.submit_batch(requests), std::invalid_argument);
+}
+
+TEST(Service, CoverRequestsNormalizeTheBackendOutOfTheCacheKey) {
+  const Graph g = make_gnp(200, 0.04, 1);
+  DecompositionService service;
+  service.register_graph_view("g", g);
+
+  ServiceRequest cover;
+  cover.graph_id = "g";
+  cover.schedule = theorem1_schedule(200, 0, 4.0);
+  cover.seed = 5;
+  cover.deliverable = Deliverable::kCover;
+  cover.cover_radius = 2;
+  cover.backend = ServiceBackend::kDistributed;
+  const ServiceResponse cold = service.submit(cover);
+  ASSERT_TRUE(cold.valid);
+  // Covers always carve centralized, so the backend does not determine
+  // the result and the same request under the other backend is a hit,
+  // not a second carve of an identical cover.
+  cover.backend = ServiceBackend::kCentralized;
+  const ServiceResponse hot = service.submit(cover);
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_EQ(hot.result.get(), cold.result.get());
+
+  // And distributed-backend covers reject the centralized-only ablation
+  // knobs just like the non-cover distributed path.
+  cover.backend = ServiceBackend::kDistributed;
+  cover.margin = 0.5;
+  EXPECT_THROW(service.submit(cover), std::invalid_argument);
+  cover.backend = ServiceBackend::kCentralized;
+  EXPECT_NO_THROW(service.submit(cover));
+}
+
 TEST(Service, BadRequestsThrowInsteadOfDegrading) {
   const Graph g = make_gnp(200, 0.04, 1);
   DecompositionService service;

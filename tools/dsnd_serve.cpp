@@ -21,6 +21,7 @@
 //
 // Flags: --threads N (engine workers, default 1), --cache N (result
 // cache capacity, default 64), --help.
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -42,11 +43,34 @@ std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        // Every remaining control character must be \u-escaped too, or
+        // an exception message / file path echoed into an error
+        // response breaks the one-JSON-object-per-line protocol.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
@@ -162,17 +186,20 @@ class Server {
       throw std::invalid_argument("expected 'family' or 'file', got " +
                                   tokens[2]);
     }
-    // The daemon owns the storage; the service borrows a stable
-    // reference (unordered_map nodes never move).
-    graphs_[id] = std::move(graph);
-    const Graph& stored = graphs_[id];
+    const auto n = graph.num_vertices();
+    const auto m = graph.num_edges();
+    // The service owns the storage: on re-registration of an id it
+    // retires the old graph only once no in-flight request or warm
+    // context references it, so `graph <id> ...` is always safe to
+    // re-issue. The daemon only remembers the size (schedules are
+    // derived from n).
     const std::uint64_t fingerprint =
-        service_->register_graph_view(id, stored);
+        service_->register_graph(id, std::move(graph));
+    graph_sizes_[id] = n;
     std::ostringstream out;
-    out << "{\"ok\":1,\"graph\":\"" << json_escape(id)
-        << "\",\"n\":" << stored.num_vertices()
-        << ",\"m\":" << stored.num_edges() << ",\"fingerprint\":\""
-        << hex16(fingerprint) << "\"}";
+    out << "{\"ok\":1,\"graph\":\"" << json_escape(id) << "\",\"n\":" << n
+        << ",\"m\":" << m << ",\"fingerprint\":\"" << hex16(fingerprint)
+        << "\"}";
     return out.str();
   }
 
@@ -183,11 +210,11 @@ class Server {
           "[seed S] [deliverable D] [radius W] [backend B]");
     }
     const std::string& id = tokens[1];
-    const auto it = graphs_.find(id);
-    if (it == graphs_.end()) {
+    const auto it = graph_sizes_.find(id);
+    if (it == graph_sizes_.end()) {
       throw std::invalid_argument("unknown graph: " + id);
     }
-    const VertexId n = it->second.num_vertices();
+    const VertexId n = it->second;
     const int theorem = std::stoi(tokens[3]);
     KeyValues kv(tokens, 4);
 
@@ -269,11 +296,11 @@ class Server {
         << ",\"contexts_created\":" << stats.contexts_created
         << ",\"warm_acquires\":" << stats.warm_acquires
         << ",\"invalid_responses\":" << stats.invalid_responses
-        << ",\"graphs\":" << graphs_.size() << "}";
+        << ",\"graphs\":" << graph_sizes_.size() << "}";
     return out.str();
   }
 
-  std::unordered_map<std::string, Graph> graphs_;
+  std::unordered_map<std::string, VertexId> graph_sizes_;
   std::optional<DecompositionService> service_;
 };
 
